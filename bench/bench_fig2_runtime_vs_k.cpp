@@ -1,0 +1,52 @@
+// Figure 2: runtimes (simulated seconds, log scale) over k.
+//   (a) GAU, paper n = 1,000,000, k' = 25   [default scaled to 200,000]
+//   (b) UNIF, n = 100,000                   [paper size by default]
+//
+// Expected shape (paper): EIM is the slowest at every k (often slower
+// than the *sequential* baseline, despite being parallel -- its Round 3
+// re-scans R against every new sample batch); GON sits in the middle;
+// MRG is fastest by 1-2 orders of magnitude. All three grow roughly
+// linearly in k.
+#include "common.hpp"
+
+namespace {
+
+using namespace kcb;
+
+void run(kc::cli::Args& args) {
+  BenchOptions options = parse_common(args, /*default_graphs=*/1,
+                                      /*default_runs=*/1);
+  const std::size_t n_gau =
+      args.size("n-gau", options.pick(50'000, 200'000, 1'000'000));
+  const std::size_t n_unif =
+      args.size("n-unif", options.pick(20'000, 100'000, 100'000));
+  const auto ks = args.size_list("k", paper_k_sweep());
+  reject_unknown_flags(args);
+  print_banner("Figure 2", "Runtime over k: (a) GAU k'=25, (b) UNIF",
+               options);
+
+  {
+    const auto pool = DatasetPool::make(
+        [n_gau](kc::Rng& rng) {
+          return kc::data::generate_gau(n_gau, 25, 2, 100.0, 0.1, rng);
+        },
+        options.graphs, options.seed);
+    runtime_series("(a) GAU n=" + std::to_string(n_gau) + ", k'=25", pool, ks,
+                   standard_algos(options), options);
+  }
+  {
+    const auto pool = DatasetPool::make(
+        [n_unif](kc::Rng& rng) {
+          return kc::data::generate_unif(n_unif, 2, 100.0, rng);
+        },
+        options.graphs, options.seed + 1);
+    runtime_series("(b) UNIF n=" + std::to_string(n_unif), pool, ks,
+                   standard_algos(options), options);
+  }
+  std::printf(
+      "(log-scale shape to compare with the paper: EIM >= GON >> MRG)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return kcb::bench_main(argc, argv, run); }

@@ -1,0 +1,61 @@
+// Figure 3: runtimes over k for GAU with k' = 50 inherent clusters.
+//   (a) paper n = 1,000,000  [default scaled to 200,000]
+//   (b) n = 50,000           [paper size by default]
+//
+// Expected shape (paper): panel (a) repeats Figure 2a's ordering
+// (EIM > GON >> MRG). In panel (b) the small n exposes EIM's
+// degenerate regime: once k is large enough that
+// n <= (4/eps) k n^eps log n, the while loop never runs, EIM sends
+// everything to one machine, and its curve collapses onto GON's.
+#include "common.hpp"
+
+namespace {
+
+using namespace kcb;
+
+void run(kc::cli::Args& args) {
+  BenchOptions options = parse_common(args, /*default_graphs=*/1,
+                                      /*default_runs=*/1);
+  const std::size_t n_large =
+      args.size("n-large", options.pick(50'000, 200'000, 1'000'000));
+  const std::size_t n_small = args.size("n-small", options.pick(20'000, 50'000, 50'000));
+  const auto ks = args.size_list("k", paper_k_sweep());
+  reject_unknown_flags(args);
+  print_banner("Figure 3", "Runtime over k, GAU with k'=50", options);
+
+  {
+    const auto pool = DatasetPool::make(
+        [n_large](kc::Rng& rng) {
+          return kc::data::generate_gau(n_large, 50, 2, 100.0, 0.1, rng);
+        },
+        options.graphs, options.seed);
+    runtime_series("(a) GAU n=" + std::to_string(n_large) + ", k'=50", pool,
+                   ks, standard_algos(options), options);
+  }
+  {
+    const auto pool = DatasetPool::make(
+        [n_small](kc::Rng& rng) {
+          return kc::data::generate_gau(n_small, 50, 2, 100.0, 0.1, rng);
+        },
+        options.graphs, options.seed + 1);
+    runtime_series("(b) GAU n=" + std::to_string(n_small) + ", k'=50", pool,
+                   ks, standard_algos(options), options);
+
+    // Make the collapse explicit: report the EIM sampling threshold.
+    kc::EimOptions eim;
+    std::printf("EIM loop threshold at n=%zu:", n_small);
+    for (const std::size_t k : ks) {
+      std::printf(" k=%zu:%s", k,
+                  kc::harness::format_count(static_cast<std::uint64_t>(
+                      kc::eim_loop_threshold(n_small, k, eim)))
+                      .c_str());
+    }
+    std::printf(
+        "\n(where the threshold exceeds n, EIM degenerates to GON on one "
+        "machine -- the collapse in panel (b))\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return kcb::bench_main(argc, argv, run); }

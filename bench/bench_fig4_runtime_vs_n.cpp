@@ -1,0 +1,71 @@
+// Figure 4: runtimes for fixed k over n from 10,000 to 1,000,000 on
+// GAU data (k' = 25): (a) k = 10, (b) k = 100.
+// Default sweeps n up to 200,000; --full extends to the paper's
+// 1,000,000.
+//
+// Expected shape (paper): all curves grow ~linearly in n. In panel
+// (b), for small n relative to k, EIM's sampling condition fails and
+// its curve coincides with GON's until n crosses the threshold; MRG's
+// curve is flatter at small n because its k^2*m final-round term
+// (rather than k*n/m) dominates there, then bends onto the k*n/m
+// asymptote -- the trend change §8.2 describes.
+#include "common.hpp"
+
+namespace {
+
+using namespace kcb;
+
+void run(kc::cli::Args& args) {
+  BenchOptions options = parse_common(args, /*default_graphs=*/1,
+                                      /*default_runs=*/1);
+  std::vector<std::size_t> ns =
+      args.size_list("n", options.quick
+                              ? std::vector<std::size_t>{10'000, 25'000, 50'000}
+                              : std::vector<std::size_t>{10'000, 25'000, 50'000,
+                                                         100'000, 200'000});
+  if (options.full) {
+    ns = args.size_list("n", {10'000, 50'000, 100'000, 250'000, 500'000,
+                              1'000'000});
+  }
+  const auto k_values = args.size_list("k", {10, 100});
+  reject_unknown_flags(args);
+  print_banner("Figure 4", "Runtime over n (GAU k'=25) at fixed k", options);
+
+  for (const std::size_t k : k_values) {
+    std::vector<std::string> headers{"n"};
+    for (const auto& algo : standard_algos(options)) {
+      headers.push_back(algo.display_label() + " (s)");
+    }
+    headers.push_back("EIM sampled?");
+    kc::harness::Table table(headers);
+    for (const std::size_t n : ns) {
+      const auto pool = DatasetPool::make(
+          [n](kc::Rng& rng) {
+            return kc::data::generate_gau(n, 25, 2, 100.0, 0.1, rng);
+          },
+          options.graphs, options.seed ^ n);
+
+      std::vector<std::string> row{kc::harness::format_count(n)};
+      double sampled_fraction = 0.0;
+      for (const auto& algo : standard_algos(options)) {
+        const auto agg = kc::harness::run_repeated(algo, pool, k, options.runs,
+                                                   options.seed ^ (n + k));
+        row.push_back(kc::harness::format_seconds(agg.sim_seconds));
+        if (algo.kind == AlgoKind::EIM) {
+          sampled_fraction = agg.sampled_fraction;
+        }
+      }
+      row.push_back(sampled_fraction > 0.5 ? "yes" : "no (== GON)");
+      table.add_row(std::move(row));
+    }
+    std::printf("--- (%s) k = %zu ---\n%s\n", k == 10 ? "a" : "b", k,
+                table.to_string().c_str());
+  }
+  std::printf(
+      "(panel (b): 'no (== GON)' rows are the EIM-collapses-onto-GON regime\n"
+      " for small n; MRG's k^2*m term dominates its small-n rows)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return kcb::bench_main(argc, argv, run); }

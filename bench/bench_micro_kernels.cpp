@@ -1,0 +1,114 @@
+// Microbenchmarks (google-benchmark) for the hot kernels underneath
+// every experiment: pair distance evaluation across dimensions and
+// metrics, the update_nearest sweep (the inner loop of GON and of
+// EIM's Round 3), full GON runs, and partitioning overhead.
+#include <benchmark/benchmark.h>
+
+#include "core/kcenter.hpp"
+
+namespace {
+
+kc::PointSet make_points(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  kc::Rng rng(seed);
+  kc::PointSet ps(n, dim);
+  for (kc::index_t i = 0; i < n; ++i) {
+    for (auto& c : ps.mutable_point(i)) c = rng.uniform(0.0, 100.0);
+  }
+  return ps;
+}
+
+void BM_PairDistance(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const kc::PointSet ps = make_points(1024, dim, 1);
+  const kc::DistanceOracle oracle(ps);
+  kc::index_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.comparable(i & 1023, (i * 7 + 1) & 1023));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairDistance)->Arg(2)->Arg(3)->Arg(10)->Arg(38);
+
+void BM_PairDistanceMetric(benchmark::State& state) {
+  const auto metric = static_cast<kc::MetricKind>(state.range(0));
+  const kc::PointSet ps = make_points(1024, 10, 2);
+  const kc::DistanceOracle oracle(ps, metric);
+  kc::index_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.comparable(i & 1023, (i * 7 + 1) & 1023));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairDistanceMetric)
+    ->Arg(static_cast<int>(kc::MetricKind::L2))
+    ->Arg(static_cast<int>(kc::MetricKind::L1))
+    ->Arg(static_cast<int>(kc::MetricKind::Linf));
+
+void BM_UpdateNearest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const kc::PointSet ps = make_points(n, 2, 3);
+  const kc::DistanceOracle oracle(ps);
+  const auto ids = ps.all_indices();
+  std::vector<double> best(n, kc::kInfDist);
+  kc::index_t center = 0;
+  for (auto _ : state) {
+    oracle.update_nearest(ids, center, best);
+    center = (center + 1) % static_cast<kc::index_t>(n);
+    benchmark::DoNotOptimize(best.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UpdateNearest)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_Gonzalez(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const kc::PointSet ps = make_points(n, 2, 4);
+  const kc::DistanceOracle oracle(ps);
+  const auto ids = ps.all_indices();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kc::gonzalez(oracle, ids, k));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * k));
+}
+BENCHMARK(BM_Gonzalez)
+    ->Args({10'000, 10})
+    ->Args({10'000, 100})
+    ->Args({100'000, 10});
+
+void BM_Partition(benchmark::State& state) {
+  const auto strategy = static_cast<kc::mr::PartitionStrategy>(state.range(0));
+  const kc::PointSet ps = make_points(100'000, 2, 5);
+  const auto ids = ps.all_indices();
+  kc::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kc::mr::partition_items(ids, 50, strategy, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_Partition)
+    ->Arg(static_cast<int>(kc::mr::PartitionStrategy::Block))
+    ->Arg(static_cast<int>(kc::mr::PartitionStrategy::RoundRobin))
+    ->Arg(static_cast<int>(kc::mr::PartitionStrategy::Shuffled));
+
+void BM_CoveringRadius(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const kc::PointSet ps = make_points(n, 2, 7);
+  const kc::DistanceOracle oracle(ps);
+  const auto ids = ps.all_indices();
+  const auto gon = kc::gonzalez(oracle, ids, 25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kc::eval::covering_radius(oracle, ids, gon.centers));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CoveringRadius)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Table 4: solution value over k for UNB (paper: n = 200,000, k' = 25,
+// ~half of all points in one cluster). Default scales to n = 100,000.
+//
+// Expected shape (paper): same collapse at k = k' as GAU; "when
+// k = k', EIM is notably better" -- sampling is insensitive to the
+// cluster-size imbalance while GON's farthest-point rule is distracted
+// by perimeter points of the heavy cluster.
+#include "common.hpp"
+
+namespace {
+
+using namespace kcb;
+
+void run(kc::cli::Args& args) {
+  BenchOptions options = parse_common(args);
+  const std::size_t n = args.size("n", options.pick(20'000, 100'000, 200'000));
+  const auto ks = args.size_list("k", paper_k_sweep());
+  reject_unknown_flags(args);
+  print_banner("Table 4",
+               "Solution value over k, UNB (paper: n=200,000, k'=25, "
+               "unbalanced 50%); measured at n=" + std::to_string(n),
+               options);
+
+  const auto pool = DatasetPool::make(
+      [n](kc::Rng& rng) {
+        return kc::data::generate_unb(n, 25, 2, 100.0, 0.1, 0.5, rng);
+      },
+      options.graphs, options.seed);
+
+  quality_table("table4", pool, ks, standard_algos(options), options,
+                /*paper_table=*/4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return kcb::bench_main(argc, argv, run); }

@@ -1,0 +1,167 @@
+// kcenter_cli: cluster any numeric CSV from the command line.
+//
+//   kcenter_cli <file.csv> --k=25 [--algo=mrg|eim|gon|hs]
+//               [--metric=l2|l1|linf] [--machines=50] [--phi=8]
+//               [--epsilon=0.1] [--drop-last-column] [--max-rows=N]
+//               [--out=centers.csv] [--assign=labels.csv] [--seed=S]
+//               [--trace]
+//
+// Non-numeric columns are dropped automatically (so UCI files work
+// as-is). Prints the solution value, a certified bound on how far it
+// can be from optimal, and per-cluster statistics; optionally writes
+// the chosen centers and a per-point cluster label file.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+
+#include "cli/args.hpp"
+#include "core/kcenter.hpp"
+#include "harness/format.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+void usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s <file.csv> --k=K [--algo=mrg|eim|gon|hs] "
+      "[--metric=l2|l1|linf]\n"
+      "          [--machines=50] [--phi=8] [--epsilon=0.1] "
+      "[--drop-last-column]\n"
+      "          [--max-rows=N] [--out=centers.csv] [--assign=labels.csv]\n"
+      "          [--seed=S] [--trace]\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kc::cli::Args args(argc, argv);
+  try {
+    if (args.positional().size() != 1 || args.flag("help")) {
+      usage(argv[0]);
+      return args.flag("help") ? 0 : 2;
+    }
+    const std::string path = args.positional()[0];
+    const std::size_t k = args.size("k", 0);
+    if (k == 0) {
+      std::fprintf(stderr, "%s: --k is required and must be positive\n",
+                   argv[0]);
+      return 2;
+    }
+    const std::string algo = args.str("algo").value_or("mrg");
+    const std::string metric_name = args.str("metric").value_or("l2");
+    const int machines = static_cast<int>(args.integer("machines", 50));
+    const std::uint64_t seed = args.size("seed", 1);
+    const bool trace = args.flag("trace");
+
+    kc::data::CsvOptions csv;
+    csv.drop_last_column = args.flag("drop-last-column");
+    csv.max_rows = args.size("max-rows", 0);
+
+    kc::MetricKind metric = kc::MetricKind::L2;
+    if (metric_name == "l1") metric = kc::MetricKind::L1;
+    else if (metric_name == "linf") metric = kc::MetricKind::Linf;
+    else if (metric_name != "l2") {
+      std::fprintf(stderr, "%s: unknown metric '%s'\n", argv[0],
+                   metric_name.c_str());
+      return 2;
+    }
+
+    const kc::PointSet data = kc::data::load_numeric_csv(path, csv);
+    std::printf("loaded %zu points x %zu numeric columns from %s\n",
+                data.size(), data.dim(), path.c_str());
+
+    const kc::DistanceOracle oracle(data, metric);
+    const auto all = data.all_indices();
+    const kc::mr::SimCluster cluster(machines);
+
+    kc::KCenterResult result;
+    std::string guarantee;
+    const kc::mr::JobTrace* job_trace = nullptr;
+    kc::MrgResult mrg_result;
+    kc::EimResult eim_result;
+
+    if (algo == "gon") {
+      kc::GonzalezOptions options;
+      options.first = kc::GonzalezOptions::FirstCenter::Random;
+      options.seed = seed;
+      auto r = kc::gonzalez(oracle, all, k, options);
+      result = {std::move(r.centers), r.radius_comparable};
+      guarantee = "2";
+    } else if (algo == "hs") {
+      result = kc::hochbaum_shmoys(oracle, all, k);
+      guarantee = "2";
+    } else if (algo == "mrg") {
+      kc::MrgOptions options;
+      options.seed = seed;
+      mrg_result = kc::mrg(oracle, all, k, cluster, options);
+      guarantee = std::to_string(mrg_result.guaranteed_factor());
+      job_trace = &mrg_result.trace;
+      result = {std::move(mrg_result.centers), mrg_result.radius_comparable};
+    } else if (algo == "eim") {
+      kc::EimOptions options;
+      options.seed = seed;
+      options.phi = args.real("phi", 8.0);
+      options.epsilon = args.real("epsilon", 0.1);
+      eim_result = kc::eim(oracle, all, k, cluster, options);
+      guarantee = eim_result.sampled ? "10 (w.s.p.)" : "2";
+      job_trace = &eim_result.trace;
+      result = {std::move(eim_result.centers), eim_result.radius_comparable};
+    } else {
+      std::fprintf(stderr, "%s: unknown algorithm '%s'\n", argv[0],
+                   algo.c_str());
+      return 2;
+    }
+
+    const auto quality = kc::eval::covering_radius(oracle, all, result.centers);
+    const double lb = kc::eval::gonzalez_lower_bound(oracle, all, k);
+    std::printf("\nalgorithm: %s   centers: %zu   metric: %s\n", algo.c_str(),
+                result.centers.size(), metric_name.c_str());
+    std::printf("covering radius (solution value): %s\n",
+                kc::harness::format_sig(quality.radius).c_str());
+    std::printf("worst-case guarantee: %s * OPT\n", guarantee.c_str());
+    if (lb > 0.0) {
+      std::printf("certified: value <= %s * OPT (vs lower bound %s)\n",
+                  kc::harness::format_sig(quality.radius / lb, 3).c_str(),
+                  kc::harness::format_sig(lb).c_str());
+    }
+    if (job_trace != nullptr) {
+      std::printf("MapReduce rounds: %d, simulated time %ss\n",
+                  job_trace->num_rounds(),
+                  kc::harness::format_seconds(job_trace->simulated_seconds())
+                      .c_str());
+      if (trace) std::printf("%s", job_trace->to_string().c_str());
+    }
+
+    const auto stats = kc::eval::cluster_stats(oracle, all, result.centers);
+    std::printf(
+        "clusters: largest %s points, smallest %s, mean radius %s\n",
+        kc::harness::format_count(stats.largest_cluster).c_str(),
+        kc::harness::format_count(stats.smallest_cluster).c_str(),
+        kc::harness::format_sig(stats.mean_radius).c_str());
+
+    if (const auto out = args.str("out")) {
+      kc::data::save_csv(data.subset(result.centers), *out);
+      std::printf("centers written to %s\n", out->c_str());
+    }
+    if (const auto assign_path = args.str("assign")) {
+      const auto labels = kc::eval::assign_clusters(oracle, all, result.centers);
+      std::ofstream out(*assign_path);
+      if (!out) throw std::runtime_error("cannot open " + *assign_path);
+      for (const auto label : labels) out << label << '\n';
+      std::printf("cluster labels written to %s\n", assign_path->c_str());
+    }
+
+    const auto leftover = args.unconsumed();
+    if (!leftover.empty()) {
+      std::fprintf(stderr, "warning: unused flag(s):");
+      for (const auto& f : leftover) std::fprintf(stderr, " --%s", f.c_str());
+      std::fprintf(stderr, "\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,109 @@
+// Multi-round MRG: what happens when even the first-round sample of
+// k*m centers does not fit on one machine (§3.3 of the paper).
+//
+//   ./examples/massive_multiround [--n=400000] [--k=64] [--machines=64]
+//                                 [--capacity=8192] [--seed=5]
+//
+// With capacity c < k*m the while loop of Algorithm 1 runs repeatedly:
+// each round compresses |S| by roughly a factor c/k, and each round
+// adds 2 to the approximation guarantee (Lemma 3). This example forces
+// that regime with an artificially small per-machine capacity, prints
+// the full round trace, and compares against the 2-round run with
+// adequate capacity.
+#include <cstdio>
+#include <exception>
+
+#include "cli/args.hpp"
+#include "core/kcenter.hpp"
+#include "harness/format.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+void report(const char* title, const kc::MrgResult& result,
+            const kc::DistanceOracle& oracle,
+            std::span<const kc::index_t> all) {
+  const auto quality = kc::eval::covering_radius(oracle, all, result.centers);
+  std::printf("%s\n", title);
+  std::printf("%s", result.trace.to_string().c_str());
+  std::printf(
+      "  -> %d reduce round(s), guaranteed factor %d, value %s, "
+      "simulated time %ss\n\n",
+      result.reduce_rounds, result.guaranteed_factor(),
+      kc::harness::format_sig(quality.radius).c_str(),
+      kc::harness::format_seconds(result.trace.simulated_seconds()).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    kc::cli::Args args(argc, argv);
+    const std::size_t n = args.size("n", 400'000);
+    const std::size_t k = args.size("k", 64);
+    const int machines = static_cast<int>(args.integer("machines", 64));
+    const std::size_t capacity = args.size("capacity", 8192);
+    const std::uint64_t seed = args.size("seed", 5);
+
+    std::printf(
+        "multi-round MRG demo: n=%zu, k=%zu, m=%d\n"
+        "first-round sample is k*m = %zu centers\n\n",
+        n, k, machines, k * static_cast<std::size_t>(machines));
+
+    kc::Rng rng(seed);
+    const kc::PointSet data = kc::data::generate_gau(
+        n, /*clusters=*/k, /*dim=*/2, /*side=*/100.0, /*sigma=*/0.1, rng);
+    const kc::DistanceOracle oracle(data);
+    const auto all = data.all_indices();
+    const kc::mr::SimCluster cluster(machines);
+
+    // Generous capacity: the classic 2-round, 4-approximation regime.
+    {
+      kc::MrgOptions options;  // capacity auto-derived: max(n/m, k*m)
+      options.seed = seed;
+      report("[1] capacity >= k*m: the 2-round regime",
+             kc::mrg(oracle, all, k, cluster, options), oracle, all);
+    }
+
+    // Tight capacity: k*m exceeds c, so the sample itself must be
+    // re-clustered over multiple rounds.
+    {
+      kc::MrgOptions options;
+      options.capacity = capacity;
+      options.seed = seed;
+      char title[128];
+      std::snprintf(title, sizeof(title),
+                    "[2] capacity = %zu < k*m: the multi-round regime",
+                    capacity);
+      report(title, kc::mrg(oracle, all, k, cluster, options), oracle, all);
+    }
+
+    // Beyond the paper's scope (§3.2): the data exceeds even the
+    // cluster's *total* RAM, so independent MRG instances run over
+    // disjoint chunks and a final pass clusters the union of their
+    // solutions (see core/disjoint_union.hpp for the 6-approx argument).
+    {
+      kc::DisjointUnionOptions options;
+      options.instances = 4;
+      options.mrg.seed = seed;
+      const auto result =
+          kc::mrg_disjoint_union(oracle, all, k, cluster, options);
+      const auto quality =
+          kc::eval::covering_radius(oracle, all, result.centers);
+      std::printf(
+          "[3] external-memory mode: %zu disjoint MRG instances + union "
+          "pass\n    -> guaranteed factor %d, value %s\n\n",
+          options.instances, result.guaranteed_factor,
+          kc::harness::format_sig(quality.radius).c_str());
+    }
+
+    std::printf(
+        "Note how the extra rounds barely change the solution value in\n"
+        "practice even though the worst-case guarantee loosens by 2 per\n"
+        "round -- the behaviour the paper's future-work section asks about.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "massive_multiround: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,85 @@
+#include "algo/brute_force.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace kc {
+
+namespace {
+
+[[nodiscard]] std::uint64_t binomial_capped(std::uint64_t n, std::uint64_t k,
+                                            std::uint64_t cap) noexcept {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // result * (n - k + i) / i stays integral at every step.
+    if (result > cap * i / (n - k + i) + 1) return cap + 1;  // overflow guard
+    result = result * (n - k + i) / i;
+    if (result > cap) return cap + 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+KCenterResult brute_force_opt(const DistanceOracle& oracle,
+                              std::span<const index_t> pts, std::size_t k,
+                              std::uint64_t max_subsets) {
+  if (pts.empty()) {
+    throw std::invalid_argument("brute_force_opt: empty point subset");
+  }
+  if (k == 0) {
+    throw std::invalid_argument("brute_force_opt: k must be at least 1");
+  }
+  const std::size_t n = pts.size();
+  if (k >= n) {
+    KCenterResult all;
+    all.centers.assign(pts.begin(), pts.end());
+    all.radius_comparable = 0.0;
+    return all;
+  }
+  if (binomial_capped(n, k, max_subsets) > max_subsets) {
+    throw std::length_error("brute_force_opt: too many center subsets");
+  }
+
+  // Precompute the pairwise matrix once: the enumeration below touches
+  // every pair many times.
+  const std::vector<double> dist = oracle.pairwise_comparable(pts);
+
+  std::vector<std::size_t> comb(k);
+  for (std::size_t i = 0; i < k; ++i) comb[i] = i;
+
+  KCenterResult best;
+  best.radius_comparable = std::numeric_limits<double>::infinity();
+
+  while (true) {
+    // Covering radius of this center subset, with early abandon once it
+    // exceeds the best radius found so far.
+    double radius = 0.0;
+    for (std::size_t p = 0; p < n && radius < best.radius_comparable; ++p) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (const std::size_t c : comb) {
+        const double d = dist[p * n + c];
+        if (d < nearest) nearest = d;
+      }
+      if (nearest > radius) radius = nearest;
+    }
+    if (radius < best.radius_comparable) {
+      best.radius_comparable = radius;
+      best.centers.clear();
+      for (const std::size_t c : comb) best.centers.push_back(pts[c]);
+    }
+
+    // Advance to the next k-combination in lexicographic order.
+    std::size_t i = k;
+    while (i > 0 && comb[i - 1] == n - k + (i - 1)) --i;
+    if (i == 0) break;
+    ++comb[i - 1];
+    for (std::size_t j = i; j < k; ++j) comb[j] = comb[j - 1] + 1;
+  }
+  return best;
+}
+
+}  // namespace kc

@@ -1,0 +1,25 @@
+// Exact k-center by exhaustive enumeration, for tiny instances.
+//
+// The paper's problem definition restricts centers to input points, so
+// the optimum is min over the C(n, k) center subsets of the covering
+// radius. Used by the property tests to verify approximation factors
+// (GON <= 2*OPT, 2-round MRG <= 4*OPT, ...) against the true optimum,
+// and by the adversarial-tightness experiment.
+#pragma once
+
+#include <span>
+
+#include "algo/result.hpp"
+#include "geom/distance.hpp"
+
+namespace kc {
+
+/// Exact optimum over all center subsets of size min(k, |pts|).
+///
+/// Throws std::length_error if C(|pts|, k) exceeds `max_subsets`.
+[[nodiscard]] KCenterResult brute_force_opt(const DistanceOracle& oracle,
+                                            std::span<const index_t> pts,
+                                            std::size_t k,
+                                            std::uint64_t max_subsets = 2'000'000);
+
+}  // namespace kc

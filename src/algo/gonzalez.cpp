@@ -1,0 +1,50 @@
+#include "algo/gonzalez.hpp"
+
+#include <stdexcept>
+
+#include "rng/rng.hpp"
+
+namespace kc {
+
+GonzalezResult gonzalez(const DistanceOracle& oracle,
+                        std::span<const index_t> pts, std::size_t k,
+                        const GonzalezOptions& options) {
+  if (pts.empty()) throw std::invalid_argument("gonzalez: empty point subset");
+  if (k == 0) throw std::invalid_argument("gonzalez: k must be at least 1");
+
+  const std::size_t n = pts.size();
+  const std::size_t centers_wanted = std::min(k, n);
+
+  GonzalezResult result;
+  result.centers.reserve(centers_wanted);
+  result.greedy_radii_comparable.reserve(centers_wanted);
+
+  std::size_t first_pos = 0;
+  if (options.first == GonzalezOptions::FirstCenter::Random) {
+    Rng rng(options.seed);
+    first_pos = static_cast<std::size_t>(rng.uniform_int(n));
+  }
+
+  // best[i] = comparable distance from pts[i] to the nearest chosen
+  // center so far. Each new center costs one update_nearest sweep, for
+  // the O(k*N) total the paper cites in §5.1.
+  std::vector<double> best(n, kInfDist);
+
+  index_t current = pts[first_pos];
+  result.centers.push_back(current);
+  result.greedy_radii_comparable.push_back(0.0);
+
+  for (std::size_t step = 1; step <= centers_wanted; ++step) {
+    oracle.update_nearest(pts, current, best);
+    if (step == centers_wanted) break;
+    const std::size_t far_pos = argmax(best);
+    result.greedy_radii_comparable.push_back(best[far_pos]);
+    current = pts[far_pos];
+    result.centers.push_back(current);
+  }
+
+  result.radius_comparable = best[argmax(std::span<const double>(best))];
+  return result;
+}
+
+}  // namespace kc

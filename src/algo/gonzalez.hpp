@@ -1,0 +1,50 @@
+// GON: Gonzalez's greedy 2-approximation for k-center (Gonzalez 1985,
+// "Clustering to minimize the maximum intercluster distance").
+//
+// Chooses an arbitrary first center, then repeatedly promotes the point
+// farthest from the chosen centers until k centers exist. The triangle
+// inequality makes the result a 2-approximation; the run time is
+// O(k * N) pair evaluations via the classic incremental
+// nearest-center-distance array.
+//
+// This is the paper's sequential baseline and the inner subroutine of
+// both MRG (per-machine and final rounds) and EIM (final clean-up).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "algo/result.hpp"
+#include "geom/distance.hpp"
+
+namespace kc {
+
+struct GonzalezOptions {
+  /// How the arbitrary first center is chosen. The approximation
+  /// guarantee holds for any choice; the paper notes the *seeding*
+  /// affects which of the 2-approximate solutions is found.
+  enum class FirstCenter { FirstPoint, Random };
+  FirstCenter first = FirstCenter::FirstPoint;
+  std::uint64_t seed = 1;  ///< used only when first == Random
+};
+
+/// GON output. greedy_radii_comparable[i] is the comparable distance at
+/// which the (i+1)-th center was selected: greedy_radii[0] = 0 for the
+/// arbitrary first pick, and the sequence is non-increasing from index 1
+/// (a classic Gonzalez invariant, exercised by the tests). The covering
+/// radius of the k-center solution equals the distance of the point
+/// that *would have been* center k+1, returned in radius_comparable.
+struct GonzalezResult : KCenterResult {
+  std::vector<double> greedy_radii_comparable;
+};
+
+/// Runs GON on the subset `pts` (global ids into the oracle's point
+/// set), selecting min(k, |pts|) centers.
+///
+/// Preconditions: k >= 1, pts non-empty.
+[[nodiscard]] GonzalezResult gonzalez(const DistanceOracle& oracle,
+                                      std::span<const index_t> pts,
+                                      std::size_t k,
+                                      const GonzalezOptions& options = {});
+
+}  // namespace kc

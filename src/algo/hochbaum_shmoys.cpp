@@ -1,0 +1,105 @@
+#include "algo/hochbaum_shmoys.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace kc {
+
+namespace {
+
+/// Threshold test: greedily 2r-cover `pts`. Returns the chosen centers
+/// if at most k suffice, otherwise an empty vector. `cover_comp` is the
+/// comparable-scale equivalent of distance 2r.
+[[nodiscard]] std::vector<index_t> threshold_cover(
+    const DistanceOracle& oracle, std::span<const index_t> pts, std::size_t k,
+    double cover_comp) {
+  std::vector<index_t> centers;
+  std::vector<bool> covered(pts.size(), false);
+  std::size_t first_uncovered = 0;
+  while (true) {
+    while (first_uncovered < pts.size() && covered[first_uncovered]) {
+      ++first_uncovered;
+    }
+    if (first_uncovered == pts.size()) return centers;  // all covered
+    if (centers.size() == k) return {};                 // infeasible
+    const index_t center = pts[first_uncovered];
+    centers.push_back(center);
+    covered[first_uncovered] = true;
+    for (std::size_t i = first_uncovered + 1; i < pts.size(); ++i) {
+      if (!covered[i] && oracle.comparable(pts[i], center) <= cover_comp) {
+        covered[i] = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+KCenterResult hochbaum_shmoys(const DistanceOracle& oracle,
+                              std::span<const index_t> pts, std::size_t k,
+                              const HochbaumShmoysOptions& options) {
+  if (pts.empty()) {
+    throw std::invalid_argument("hochbaum_shmoys: empty point subset");
+  }
+  if (k == 0) {
+    throw std::invalid_argument("hochbaum_shmoys: k must be at least 1");
+  }
+  if (pts.size() > options.max_points) {
+    throw std::length_error(
+        "hochbaum_shmoys: subset too large for the quadratic candidate list");
+  }
+
+  if (pts.size() <= k) {
+    KCenterResult all;
+    all.centers.assign(pts.begin(), pts.end());
+    all.radius_comparable = 0.0;
+    return all;
+  }
+
+  // Candidate radii: all pairwise comparable distances, deduplicated.
+  std::vector<double> candidates;
+  candidates.reserve(pts.size() * (pts.size() - 1) / 2);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      candidates.push_back(oracle.comparable(pts[i], pts[j]));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  const auto cover_threshold = [&](double r_comp) {
+    // distance 2r in comparable scale (exactly 4*r_comp for L2).
+    return oracle.from_reported(2.0 * oracle.to_reported(r_comp));
+  };
+
+  // Binary search the smallest feasible candidate.
+  std::size_t lo = 0;
+  std::size_t hi = candidates.size() - 1;  // max distance is always feasible
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (threshold_cover(oracle, pts, k, cover_threshold(candidates[mid]))
+            .empty()) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+
+  KCenterResult result;
+  result.centers = threshold_cover(oracle, pts, k, cover_threshold(candidates[lo]));
+  if (result.centers.empty()) {
+    throw std::logic_error("hochbaum_shmoys: feasibility search failed");
+  }
+
+  // Report the solution's actual covering radius over pts.
+  std::vector<double> best(pts.size(), kInfDist);
+  for (const index_t c : result.centers) {
+    oracle.update_nearest(pts, c, best);
+  }
+  result.radius_comparable = best[argmax(std::span<const double>(best))];
+  return result;
+}
+
+}  // namespace kc

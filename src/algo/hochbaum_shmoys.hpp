@@ -1,0 +1,37 @@
+// HS: the Hochbaum-Shmoys 2-approximation for k-center (Mathematics of
+// Operations Research, 1985).
+//
+// The optimal radius is always one of the O(n^2) pairwise distances.
+// HS binary-searches that candidate set; for each candidate r it runs
+// the threshold test: repeatedly pick an uncovered point as a center
+// and cover everything within 2r of it. If at most k centers suffice,
+// r is feasible. The smallest feasible candidate r* satisfies
+// r* <= OPT, so the returned solution has radius <= 2*OPT.
+//
+// The paper's future-work section asks how MRG behaves with HS instead
+// of GON as the sequential subroutine; bench_ablation_inner_algo
+// answers that. HS materializes the pairwise distance list, so it is
+// restricted to subsets of at most `max_points` points — which is fine:
+// inside MRG it only ever sees n/m- or k*m-sized subsets.
+#pragma once
+
+#include <span>
+
+#include "algo/result.hpp"
+#include "geom/distance.hpp"
+
+namespace kc {
+
+struct HochbaumShmoysOptions {
+  /// Refuse inputs larger than this (the candidate list is quadratic).
+  std::size_t max_points = 8192;
+};
+
+/// Runs HS on the subset `pts`, selecting at most k centers.
+///
+/// Preconditions: k >= 1, pts non-empty, |pts| <= options.max_points.
+[[nodiscard]] KCenterResult hochbaum_shmoys(
+    const DistanceOracle& oracle, std::span<const index_t> pts, std::size_t k,
+    const HochbaumShmoysOptions& options = {});
+
+}  // namespace kc

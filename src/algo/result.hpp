@@ -1,0 +1,21 @@
+// Common result types for k-center solvers.
+#pragma once
+
+#include <vector>
+
+#include "geom/point_set.hpp"
+
+namespace kc {
+
+/// A k-center solution: chosen centers (global point ids, a subset of
+/// the input as in the paper's problem definition) plus the covering
+/// radius *over the subset the solver was run on*, in comparable scale
+/// (squared distance for L2). Use DistanceOracle::to_reported for the
+/// human-facing value, or eval::covering_radius to re-evaluate over a
+/// different point set.
+struct KCenterResult {
+  std::vector<index_t> centers;
+  double radius_comparable = 0.0;
+};
+
+}  // namespace kc

@@ -1,0 +1,54 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Accepts `--key=value` and bare `--key` boolean flags. Unrecognized
+// access patterns are the caller's concern; `unconsumed()` lists flags
+// that were never queried so binaries can reject typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace kc::cli {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if `--name` (with or without value) was passed.
+  [[nodiscard]] bool flag(const std::string& name);
+
+  /// Value of `--name=value`, if present.
+  [[nodiscard]] std::optional<std::string> str(const std::string& name);
+
+  /// Typed getters with defaults. Throw std::invalid_argument on
+  /// malformed numbers.
+  [[nodiscard]] std::int64_t integer(const std::string& name,
+                                     std::int64_t fallback);
+  [[nodiscard]] std::size_t size(const std::string& name, std::size_t fallback);
+  [[nodiscard]] double real(const std::string& name, double fallback);
+
+  /// Comma-separated list of integers, e.g. --k=2,5,10.
+  [[nodiscard]] std::vector<std::size_t> size_list(
+      const std::string& name, std::vector<std::size_t> fallback);
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+  /// Flags present on the command line that were never queried.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+  /// Positional (non --flag) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;  // "" for bare flags
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kc::cli

@@ -1,0 +1,72 @@
+#include "core/disjoint_union.hpp"
+
+#include <stdexcept>
+
+#include "core/driver.hpp"
+
+namespace kc {
+
+DisjointUnionResult mrg_disjoint_union(const DistanceOracle& oracle,
+                                       std::span<const index_t> pts,
+                                       std::size_t k,
+                                       const mr::SimCluster& cluster,
+                                       const DisjointUnionOptions& options) {
+  if (pts.empty()) {
+    throw std::invalid_argument("mrg_disjoint_union: empty point subset");
+  }
+  if (k == 0) {
+    throw std::invalid_argument("mrg_disjoint_union: k must be at least 1");
+  }
+  if (options.instances == 0) {
+    throw std::invalid_argument(
+        "mrg_disjoint_union: instances must be at least 1");
+  }
+
+  const std::size_t instances = std::min(options.instances, pts.size());
+  DisjointUnionResult result;
+  result.chunk_results.reserve(instances);
+
+  // Contiguous chunks model the external-memory stream: each chunk is
+  // paged in, clustered, and only its k centers are retained.
+  std::vector<index_t> union_centers;
+  union_centers.reserve(instances * k);
+  int max_chunk_rounds = 0;
+  const std::size_t base = pts.size() / instances;
+  const std::size_t extra = pts.size() % instances;
+  std::size_t pos = 0;
+  for (std::size_t chunk = 0; chunk < instances; ++chunk) {
+    const std::size_t len = base + (chunk < extra ? 1 : 0);
+    if (len == 0) continue;
+    MrgOptions chunk_options = options.mrg;
+    chunk_options.seed = options.mrg.seed + chunk * 7919;
+    MrgResult chunk_result =
+        mrg(oracle, pts.subspan(pos, len), k, cluster, chunk_options);
+    pos += len;
+    max_chunk_rounds =
+        std::max(max_chunk_rounds, chunk_result.reduce_rounds);
+    union_centers.insert(union_centers.end(), chunk_result.centers.begin(),
+                         chunk_result.centers.end());
+    result.chunk_results.push_back(std::move(chunk_result));
+  }
+
+  // Final sequential pass over the union of chunk solutions.
+  KCenterResult final_result;
+  auto& union_round = cluster.run_indexed_round(
+      "union-final", 1,
+      [&](int) {
+        final_result = run_sequential(options.mrg.final_algo, oracle,
+                                      union_centers, k,
+                                      options.mrg.seed ^ 0x5bd1e995u);
+      },
+      result.union_trace);
+  union_round.items_in = union_centers.size();
+  union_round.items_out = final_result.centers.size();
+  union_round.shuffle_items = union_centers.size();
+
+  result.centers = std::move(final_result.centers);
+  result.radius_comparable = final_result.radius_comparable;
+  result.guaranteed_factor = 2 * (max_chunk_rounds + 2);
+  return result;
+}
+
+}  // namespace kc

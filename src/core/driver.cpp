@@ -1,0 +1,36 @@
+#include "core/driver.hpp"
+
+#include <stdexcept>
+
+#include "algo/gonzalez.hpp"
+#include "algo/hochbaum_shmoys.hpp"
+
+namespace kc {
+
+std::string_view to_string(SeqAlgo algo) noexcept {
+  switch (algo) {
+    case SeqAlgo::Gonzalez: return "GON";
+    case SeqAlgo::HochbaumShmoys: return "HS";
+  }
+  return "?";
+}
+
+KCenterResult run_sequential(SeqAlgo algo, const DistanceOracle& oracle,
+                             std::span<const index_t> pts, std::size_t k,
+                             std::uint64_t seed, bool randomize_seed) {
+  switch (algo) {
+    case SeqAlgo::Gonzalez: {
+      GonzalezOptions options;
+      options.first = randomize_seed ? GonzalezOptions::FirstCenter::Random
+                                     : GonzalezOptions::FirstCenter::FirstPoint;
+      options.seed = seed;
+      GonzalezResult r = gonzalez(oracle, pts, k, options);
+      return {std::move(r.centers), r.radius_comparable};
+    }
+    case SeqAlgo::HochbaumShmoys:
+      return hochbaum_shmoys(oracle, pts, k);
+  }
+  throw std::logic_error("run_sequential: unknown algorithm");
+}
+
+}  // namespace kc

@@ -1,0 +1,36 @@
+// Dispatch over the sequential k-center subroutines.
+//
+// Both MRG and EIM are parameterized by which sequential algorithm runs
+// on the per-machine subsets / the final sample. The paper fixes GON
+// ("For all parallel implementations, GON is the subprocedure for
+// selecting the final centers", §7.1) and raises HS as future work;
+// bench_ablation_inner_algo explores the swap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "algo/result.hpp"
+#include "geom/distance.hpp"
+
+namespace kc {
+
+enum class SeqAlgo {
+  Gonzalez,        ///< GON: greedy farthest-point, 2-approx, O(kN)
+  HochbaumShmoys,  ///< HS: threshold binary search, 2-approx, O(N^2 log N)
+};
+
+[[nodiscard]] std::string_view to_string(SeqAlgo algo) noexcept;
+
+/// Runs the chosen sequential algorithm on `pts`. `seed` feeds GON's
+/// random first-center pick when `randomize_seed` is true; HS is
+/// deterministic.
+[[nodiscard]] KCenterResult run_sequential(SeqAlgo algo,
+                                           const DistanceOracle& oracle,
+                                           std::span<const index_t> pts,
+                                           std::size_t k,
+                                           std::uint64_t seed = 1,
+                                           bool randomize_seed = false);
+
+}  // namespace kc

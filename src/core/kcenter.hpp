@@ -1,0 +1,38 @@
+// Umbrella header: the public API of the parallel k-center library.
+//
+//   #include "core/kcenter.hpp"
+//
+//   kc::Rng rng(7);
+//   kc::PointSet data = kc::data::generate_gau(100'000, 25, 2, 100.0, 0.1, rng);
+//   kc::DistanceOracle oracle(data);
+//   kc::mr::SimCluster cluster(/*machines=*/50);
+//   auto centers = kc::mrg(oracle, data.all_indices(), /*k=*/25, cluster);
+//   auto value = kc::eval::covering_radius(oracle, data.all_indices(),
+//                                          centers.centers).radius;
+//
+// See README.md for the architecture overview and DESIGN.md for the
+// paper-reproduction inventory.
+#pragma once
+
+#include "algo/brute_force.hpp"
+#include "algo/gonzalez.hpp"
+#include "algo/hochbaum_shmoys.hpp"
+#include "algo/result.hpp"
+#include "core/disjoint_union.hpp"
+#include "core/driver.hpp"
+#include "core/eim.hpp"
+#include "core/mrg.hpp"
+#include "data/generators.hpp"
+#include "data/loader.hpp"
+#include "data/planted.hpp"
+#include "data/surrogates.hpp"
+#include "eval/evaluate.hpp"
+#include "eval/lower_bound.hpp"
+#include "geom/counters.hpp"
+#include "geom/distance.hpp"
+#include "geom/point_set.hpp"
+#include "mapreduce/cluster.hpp"
+#include "mapreduce/partition.hpp"
+#include "mapreduce/round_stats.hpp"
+#include "mapreduce/trace.hpp"
+#include "rng/rng.hpp"

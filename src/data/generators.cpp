@@ -1,0 +1,106 @@
+#include "data/generators.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace kc::data {
+
+std::string_view to_string(SyntheticKind kind) noexcept {
+  switch (kind) {
+    case SyntheticKind::Unif: return "UNIF";
+    case SyntheticKind::Gau: return "GAU";
+    case SyntheticKind::Unb: return "UNB";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] PointSet make_cluster_centers(std::size_t clusters,
+                                            std::size_t dim, double side,
+                                            Rng& rng) {
+  PointSet centers(clusters, dim);
+  for (index_t c = 0; c < clusters; ++c) {
+    auto p = centers.mutable_point(c);
+    for (auto& coord : p) coord = rng.uniform(0.0, side);
+  }
+  return centers;
+}
+
+/// Emits one point at `center` plus isotropic Gaussian noise.
+void emit_gaussian_point(PointSet& out, index_t i,
+                         std::span<const double> center, double sigma,
+                         Rng& rng) {
+  auto p = out.mutable_point(i);
+  for (std::size_t d = 0; d < p.size(); ++d) {
+    p[d] = center[d] + rng.gaussian(0.0, sigma);
+  }
+}
+
+}  // namespace
+
+PointSet generate_unif(std::size_t n, std::size_t dim, double side, Rng& rng) {
+  if (n == 0) throw std::invalid_argument("generate_unif: n must be positive");
+  PointSet out(n, dim);
+  for (index_t i = 0; i < n; ++i) {
+    auto p = out.mutable_point(i);
+    for (auto& coord : p) coord = rng.uniform(0.0, side);
+  }
+  return out;
+}
+
+PointSet generate_gau(std::size_t n, std::size_t clusters, std::size_t dim,
+                      double side, double sigma, Rng& rng) {
+  if (n == 0) throw std::invalid_argument("generate_gau: n must be positive");
+  if (clusters == 0) {
+    throw std::invalid_argument("generate_gau: clusters must be positive");
+  }
+  const PointSet centers = make_cluster_centers(clusters, dim, side, rng);
+  PointSet out(n, dim);
+  for (index_t i = 0; i < n; ++i) {
+    const auto c = static_cast<index_t>(rng.uniform_int(clusters));
+    emit_gaussian_point(out, i, centers[c], sigma, rng);
+  }
+  return out;
+}
+
+PointSet generate_unb(std::size_t n, std::size_t clusters, std::size_t dim,
+                      double side, double sigma, double unbalanced_fraction,
+                      Rng& rng) {
+  if (n == 0) throw std::invalid_argument("generate_unb: n must be positive");
+  if (clusters == 0) {
+    throw std::invalid_argument("generate_unb: clusters must be positive");
+  }
+  if (unbalanced_fraction < 0.0 || unbalanced_fraction > 1.0) {
+    throw std::invalid_argument(
+        "generate_unb: unbalanced_fraction must be in [0, 1]");
+  }
+  const PointSet centers = make_cluster_centers(clusters, dim, side, rng);
+  PointSet out(n, dim);
+  for (index_t i = 0; i < n; ++i) {
+    index_t c = 0;  // the designated heavy cluster
+    if (!rng.bernoulli(unbalanced_fraction)) {
+      c = clusters > 1
+              ? static_cast<index_t>(1 + rng.uniform_int(clusters - 1))
+              : 0;
+    }
+    emit_gaussian_point(out, i, centers[c], sigma, rng);
+  }
+  return out;
+}
+
+PointSet generate(const SyntheticSpec& spec, Rng& rng) {
+  switch (spec.kind) {
+    case SyntheticKind::Unif:
+      return generate_unif(spec.n, spec.dim, spec.side, rng);
+    case SyntheticKind::Gau:
+      return generate_gau(spec.n, spec.inherent_clusters, spec.dim, spec.side,
+                          spec.sigma, rng);
+    case SyntheticKind::Unb:
+      return generate_unb(spec.n, spec.inherent_clusters, spec.dim, spec.side,
+                          spec.sigma, spec.unbalanced_fraction, rng);
+  }
+  throw std::logic_error("generate: unknown synthetic kind");
+}
+
+}  // namespace kc::data

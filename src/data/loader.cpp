@@ -1,0 +1,119 @@
+#include "data/loader.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace kc::data {
+
+namespace {
+
+/// Parses one delimited line, keeping numeric fields only. Returns the
+/// column positions that were numeric (used to pin the schema).
+void split_numeric(const std::string& line, char delimiter,
+                   std::vector<double>& values,
+                   std::vector<std::size_t>& numeric_columns) {
+  values.clear();
+  numeric_columns.clear();
+  std::size_t column = 0;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    std::size_t end = line.find(delimiter, start);
+    if (end == std::string::npos) end = line.size();
+    const std::string token = line.substr(start, end - start);
+    if (!token.empty()) {
+      char* parse_end = nullptr;
+      const double value = std::strtod(token.c_str(), &parse_end);
+      // Numeric iff the whole token (modulo trailing spaces/CR) parsed.
+      bool fully_numeric = parse_end != token.c_str();
+      if (fully_numeric) {
+        for (const char* p = parse_end; *p != '\0'; ++p) {
+          if (*p != ' ' && *p != '\t' && *p != '\r' && *p != '.') {
+            fully_numeric = false;
+            break;
+          }
+        }
+      }
+      if (fully_numeric) {
+        values.push_back(value);
+        numeric_columns.push_back(column);
+      }
+    }
+    ++column;
+    if (end == line.size()) break;
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+PointSet load_numeric_csv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_numeric_csv: cannot open '" + path + "'");
+  }
+
+  std::vector<double> coords;
+  std::vector<double> row;
+  std::vector<std::size_t> row_columns;
+  std::vector<std::size_t> schema;
+  std::size_t rows = 0;
+  std::size_t dim = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    split_numeric(line, options.delimiter, row, row_columns);
+    if (row.empty()) continue;  // header or fully non-numeric line
+    if (options.drop_last_column) {
+      row.pop_back();
+      row_columns.pop_back();
+      if (row.empty()) continue;
+    }
+    if (rows == 0) {
+      schema = row_columns;
+      dim = row.size();
+      if (options.expect_dim && dim != *options.expect_dim) {
+        throw std::runtime_error(
+            "load_numeric_csv: expected " +
+            std::to_string(*options.expect_dim) + " numeric columns, found " +
+            std::to_string(dim));
+      }
+    } else if (row_columns != schema) {
+      throw std::runtime_error("load_numeric_csv: inconsistent row " +
+                               std::to_string(rows + 1) + " in '" + path + "'");
+    }
+    coords.insert(coords.end(), row.begin(), row.end());
+    ++rows;
+    if (options.max_rows != 0 && rows >= options.max_rows) break;
+  }
+  if (rows == 0) {
+    throw std::runtime_error("load_numeric_csv: no numeric rows in '" + path +
+                             "'");
+  }
+  return PointSet(dim, std::move(coords));
+}
+
+void save_csv(const PointSet& points, const std::string& path,
+              char delimiter) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_csv: cannot open '" + path + "'");
+  }
+  out.precision(17);
+  for (index_t i = 0; i < points.size(); ++i) {
+    const auto p = points[i];
+    for (std::size_t d = 0; d < p.size(); ++d) {
+      if (d != 0) out << delimiter;
+      out << p[d];
+    }
+    out << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("save_csv: write failed for '" + path + "'");
+  }
+}
+
+}  // namespace kc::data

@@ -1,0 +1,76 @@
+#include "data/planted.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kc::data {
+
+PlantedInstance make_planted(std::size_t clusters,
+                             std::size_t points_per_cluster, double radius,
+                             double separation, std::size_t dim, Rng& rng) {
+  if (clusters == 0) {
+    throw std::invalid_argument("make_planted: clusters must be positive");
+  }
+  if (points_per_cluster < 3 || points_per_cluster % 2 == 0) {
+    throw std::invalid_argument(
+        "make_planted: points_per_cluster must be odd and >= 3");
+  }
+  if (!(radius > 0.0)) {
+    throw std::invalid_argument("make_planted: radius must be positive");
+  }
+  if (!(separation > 4.0 * radius)) {
+    throw std::invalid_argument(
+        "make_planted: separation must exceed 4 * radius");
+  }
+  if (dim < 2) {
+    throw std::invalid_argument("make_planted: dim must be at least 2");
+  }
+
+  PlantedInstance out;
+  out.clusters = clusters;
+  out.opt_radius = radius;
+  out.points = PointSet(clusters * points_per_cluster, dim);
+  out.optimal_centers.reserve(clusters);
+
+  // Sites on a square-ish grid with spacing `separation`.
+  const auto grid = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(clusters))));
+
+  std::vector<double> site(dim, 0.0);
+  std::vector<double> dir(dim, 0.0);
+  index_t next = 0;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    std::fill(site.begin(), site.end(), 0.0);
+    site[0] = static_cast<double>(c % grid) * separation;
+    site[1] = static_cast<double>(c / grid) * separation;
+
+    // The site point itself is the planted optimal center.
+    out.optimal_centers.push_back(next);
+    auto sp = out.points.mutable_point(next++);
+    std::copy(site.begin(), site.end(), sp.begin());
+
+    // Antipodal satellite pairs at exact distance `radius`.
+    for (std::size_t pair = 0; pair + 1 < points_per_cluster; pair += 2) {
+      double norm = 0.0;
+      do {
+        norm = 0.0;
+        for (auto& d : dir) {
+          d = rng.gaussian();
+          norm += d * d;
+        }
+        norm = std::sqrt(norm);
+      } while (norm < 1e-12);
+
+      auto a = out.points.mutable_point(next++);
+      auto b = out.points.mutable_point(next++);
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double offset = radius * dir[d] / norm;
+        a[d] = site[d] + offset;
+        b[d] = site[d] - offset;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace kc::data

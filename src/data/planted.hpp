@@ -1,0 +1,41 @@
+// Planted instances with *exactly known* optimal radius, used by the
+// approximation-factor property tests (GON <= 2*OPT, 2-round MRG
+// <= 4*OPT, EIM <= 10*OPT w.h.p.) without needing brute force.
+//
+// Construction: k cluster sites on a coarse grid with pairwise
+// separation >> radius. Each cluster contains its site point plus
+// satellite points at *exact* metric distance `radius` from the site,
+// placed in antipodal pairs. Then:
+//   - choosing the k sites covers everything at `radius` (OPT <= r);
+//   - any solution with radius < separation/2 - r must use one center
+//     per cluster, and within a cluster any non-site center leaves
+//     some antipodal satellite at distance > r (two antipodes are 2r
+//     apart), so OPT >= r.
+// Hence OPT == radius exactly.
+#pragma once
+
+#include <vector>
+
+#include "geom/point_set.hpp"
+#include "rng/rng.hpp"
+
+namespace kc::data {
+
+struct PlantedInstance {
+  PointSet points;
+  std::vector<index_t> optimal_centers;  ///< the k site points
+  double opt_radius = 0.0;               ///< exact OPT, reported scale
+  std::size_t clusters = 0;
+};
+
+/// Builds a planted instance with `clusters` clusters of
+/// `points_per_cluster` points each (must be odd >= 3: the site plus
+/// antipodal satellite pairs), exact optimum `radius`, and pairwise
+/// site separation at least `separation` (must exceed 4 * radius).
+/// `dim` >= 2. Satellite directions are random (antipodal pairs).
+[[nodiscard]] PlantedInstance make_planted(std::size_t clusters,
+                                           std::size_t points_per_cluster,
+                                           double radius, double separation,
+                                           std::size_t dim, Rng& rng);
+
+}  // namespace kc::data

@@ -1,0 +1,277 @@
+#include "data/surrogates.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace kc::data {
+
+PointSet poker_hand_surrogate(std::size_t n, Rng& rng) {
+  if (n == 0) {
+    throw std::invalid_argument("poker_hand_surrogate: n must be positive");
+  }
+  PointSet out(n, kPokerHandDim);
+  std::array<int, 52> deck{};
+  for (int c = 0; c < 52; ++c) deck[c] = c;
+
+  for (index_t i = 0; i < n; ++i) {
+    // Partial Fisher-Yates: the first five entries become the hand.
+    for (int j = 0; j < 5; ++j) {
+      const int swap_with =
+          j + static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(52 - j)));
+      std::swap(deck[j], deck[swap_with]);
+    }
+    auto p = out.mutable_point(i);
+    for (int j = 0; j < 5; ++j) {
+      const int card = deck[j];
+      p[2 * j] = static_cast<double>(card / 13 + 1);      // suit 1..4
+      p[2 * j + 1] = static_cast<double>(card % 13 + 1);  // rank 1..13
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Feature indices mirroring the KDD numeric schema; only the ones a
+// k-center metric reacts to get archetype-specific values, the rest
+// stay near zero like the originals.
+enum KddFeature : std::size_t {
+  kDuration = 0,
+  kSrcBytes = 1,
+  kDstBytes = 2,
+  kWrongFragment = 4,
+  kHot = 6,
+  kNumFailedLogins = 7,
+  kLoggedIn = 8,
+  kNumRoot = 12,
+  kIsGuestLogin = 18,
+  kCount = 19,
+  kSrvCount = 20,
+  kSerrorRate = 21,
+  kSrvSerrorRate = 22,
+  kRerrorRate = 23,
+  kSrvRerrorRate = 24,
+  kSameSrvRate = 25,
+  kDiffSrvRate = 26,
+  kDstHostCount = 28,
+  kDstHostSrvCount = 29,
+  kDstHostSameSrvRate = 30,
+  kDstHostSerrorRate = 34,
+  kDstHostRerrorRate = 36,
+};
+
+struct Archetype {
+  const char* name;
+  double weight;
+  void (*fill)(std::span<double> f, Rng& rng);
+};
+
+void noise_rates(std::span<double> f, Rng& rng) {
+  // Small jitter on a handful of secondary rate features so clusters
+  // are not degenerate single points.
+  f[27] = rng.uniform(0.0, 0.05);
+  f[31] = rng.uniform(0.0, 0.05);
+  f[32] = rng.uniform(0.0, 0.1);
+  f[33] = rng.uniform(0.0, 0.05);
+}
+
+void fill_smurf(std::span<double> f, Rng& rng) {
+  // ICMP echo flood: fixed-size payloads, saturated counts.
+  f[kSrcBytes] = rng.uniform(520.0, 1032.0);
+  f[kCount] = rng.uniform(450.0, 511.0);
+  f[kSrvCount] = f[kCount];
+  f[kSameSrvRate] = 1.0;
+  f[kDstHostCount] = 255.0;
+  f[kDstHostSrvCount] = 255.0;
+  f[kDstHostSameSrvRate] = 1.0;
+  noise_rates(f, rng);
+}
+
+void fill_neptune(std::span<double> f, Rng& rng) {
+  // SYN flood: zero-byte connections, full serror rates.
+  f[kCount] = rng.uniform(100.0, 300.0);
+  f[kSrvCount] = rng.uniform(1.0, 20.0);
+  f[kSerrorRate] = 1.0;
+  f[kSrvSerrorRate] = 1.0;
+  f[kSameSrvRate] = rng.uniform(0.0, 0.1);
+  f[kDiffSrvRate] = rng.uniform(0.05, 0.09);
+  f[kDstHostCount] = 255.0;
+  f[kDstHostSerrorRate] = 1.0;
+  noise_rates(f, rng);
+}
+
+void fill_normal_http(std::span<double> f, Rng& rng) {
+  f[kDuration] = rng.uniform(0.0, 5.0);
+  f[kSrcBytes] = rng.log_uniform(100.0, 5e3);
+  f[kDstBytes] = rng.log_uniform(300.0, 4e4);
+  f[kLoggedIn] = 1.0;
+  f[kCount] = rng.uniform(1.0, 30.0);
+  f[kSrvCount] = f[kCount];
+  f[kSameSrvRate] = 1.0;
+  f[kDstHostSrvCount] = rng.uniform(100.0, 255.0);
+  f[kDstHostSameSrvRate] = 1.0;
+  noise_rates(f, rng);
+}
+
+void fill_normal_smtp(std::span<double> f, Rng& rng) {
+  f[kDuration] = rng.uniform(0.0, 10.0);
+  f[kSrcBytes] = rng.log_uniform(300.0, 2e3);
+  f[kDstBytes] = rng.log_uniform(300.0, 1e4);
+  f[kLoggedIn] = 1.0;
+  f[kCount] = rng.uniform(1.0, 10.0);
+  f[kSameSrvRate] = 1.0;
+  f[kDstHostSrvCount] = rng.uniform(20.0, 150.0);
+  noise_rates(f, rng);
+}
+
+void fill_normal_ftp(std::span<double> f, Rng& rng) {
+  // Data-channel transfers: occasionally large uploads.
+  f[kDuration] = rng.uniform(0.0, 60.0);
+  f[kSrcBytes] = rng.log_uniform(1e3, 5e6);
+  f[kLoggedIn] = 1.0;
+  f[kCount] = rng.uniform(1.0, 5.0);
+  f[kSameSrvRate] = 1.0;
+  noise_rates(f, rng);
+}
+
+void fill_normal_long(std::span<double> f, Rng& rng) {
+  // Long interactive sessions (telnet/ssh-like).
+  f[kDuration] = rng.log_uniform(10.0, 1e4);
+  f[kSrcBytes] = rng.log_uniform(10.0, 1e4);
+  f[kDstBytes] = rng.log_uniform(10.0, 1e5);
+  f[kLoggedIn] = 1.0;
+  noise_rates(f, rng);
+}
+
+void fill_back(std::span<double> f, Rng& rng) {
+  // Apache buffer DoS: characteristic ~54KB requests.
+  f[kSrcBytes] = rng.uniform(54000.0, 55000.0);
+  f[kDstBytes] = rng.uniform(8000.0, 8600.0);
+  f[kHot] = 2.0;
+  f[kLoggedIn] = 1.0;
+  noise_rates(f, rng);
+}
+
+void fill_satan(std::span<double> f, Rng& rng) {
+  f[kCount] = rng.uniform(50.0, 400.0);
+  f[kRerrorRate] = rng.uniform(0.8, 1.0);
+  f[kSrvRerrorRate] = f[kRerrorRate];
+  f[kDiffSrvRate] = rng.uniform(0.5, 1.0);
+  f[kDstHostRerrorRate] = f[kRerrorRate];
+  noise_rates(f, rng);
+}
+
+void fill_ipsweep(std::span<double> f, Rng& rng) {
+  f[kSrcBytes] = rng.uniform(8.0, 20.0);
+  f[kCount] = rng.uniform(1.0, 10.0);
+  f[kDiffSrvRate] = 1.0;
+  noise_rates(f, rng);
+}
+
+void fill_portsweep(std::span<double> f, Rng& rng) {
+  f[kDuration] = rng.log_uniform(1.0, 2e3);
+  f[kRerrorRate] = 1.0;
+  f[kSrvRerrorRate] = 1.0;
+  f[kDiffSrvRate] = 1.0;
+  noise_rates(f, rng);
+}
+
+void fill_warezclient(std::span<double> f, Rng& rng) {
+  f[kSrcBytes] = rng.log_uniform(1e3, 5e6);
+  f[kDstBytes] = rng.log_uniform(100.0, 1e4);
+  f[kIsGuestLogin] = 1.0;
+  f[kHot] = rng.uniform(1.0, 30.0);
+  f[kLoggedIn] = 1.0;
+  noise_rates(f, rng);
+}
+
+void fill_teardrop(std::span<double> f, Rng& rng) {
+  f[kSrcBytes] = 28.0;
+  f[kWrongFragment] = 3.0;
+  f[kCount] = rng.uniform(100.0, 250.0);
+  noise_rates(f, rng);
+}
+
+void fill_pod(std::span<double> f, Rng& rng) {
+  f[kSrcBytes] = 1480.0;
+  f[kWrongFragment] = 1.0;
+  noise_rates(f, rng);
+}
+
+void fill_guess_passwd(std::span<double> f, Rng& rng) {
+  f[kDuration] = rng.uniform(1.0, 10.0);
+  f[kSrcBytes] = rng.uniform(100.0, 200.0);
+  f[kNumFailedLogins] = 5.0;
+  noise_rates(f, rng);
+}
+
+void fill_buffer_overflow(std::span<double> f, Rng& rng) {
+  f[kDuration] = rng.log_uniform(1.0, 300.0);
+  f[kSrcBytes] = rng.log_uniform(100.0, 6e3);
+  f[kLoggedIn] = 1.0;
+  f[kNumRoot] = rng.uniform(1.0, 6.0);
+  noise_rates(f, rng);
+}
+
+void fill_bulk_transfer(std::span<double> f, Rng& rng) {
+  // The rare enormous flows (multi-hundred-MB ftp payloads; the real
+  // file tops out around 1.4e9 src_bytes). These are the outliers that
+  // stretch Figure 1's y-axis to 10^9 and starve uniform sampling.
+  f[kDuration] = rng.log_uniform(10.0, 3e3);
+  f[kSrcBytes] = rng.log_uniform(1e7, 1.4e9);
+  f[kDstBytes] = rng.log_uniform(1e3, 1e6);
+  f[kLoggedIn] = 1.0;
+  noise_rates(f, rng);
+}
+
+constexpr std::array<Archetype, 16> kArchetypes{{
+    {"smurf", 0.5676, fill_smurf},
+    {"neptune", 0.2148, fill_neptune},
+    {"normal_http", 0.1250, fill_normal_http},
+    {"normal_smtp", 0.0400, fill_normal_smtp},
+    {"normal_ftp", 0.0200, fill_normal_ftp},
+    {"normal_long", 0.0100, fill_normal_long},
+    {"back", 0.0045, fill_back},
+    {"satan", 0.0032, fill_satan},
+    {"ipsweep", 0.0025, fill_ipsweep},
+    {"portsweep", 0.0021, fill_portsweep},
+    {"warezclient", 0.0021, fill_warezclient},
+    {"teardrop", 0.0020, fill_teardrop},
+    {"pod", 0.0005, fill_pod},
+    {"guess_passwd", 0.0002, fill_guess_passwd},
+    {"buffer_overflow", 0.0002, fill_buffer_overflow},
+    {"bulk_transfer", 0.0003, fill_bulk_transfer},
+}};
+
+}  // namespace
+
+PointSet kdd_cup_surrogate(std::size_t n, Rng& rng) {
+  if (n == 0) {
+    throw std::invalid_argument("kdd_cup_surrogate: n must be positive");
+  }
+  std::array<double, kArchetypes.size()> weights{};
+  for (std::size_t a = 0; a < kArchetypes.size(); ++a) {
+    weights[a] = kArchetypes[a].weight;
+  }
+
+  PointSet out(n, kKddCupDim);
+  for (index_t i = 0; i < n; ++i) {
+    auto f = out.mutable_point(i);
+    std::fill(f.begin(), f.end(), 0.0);
+    const std::size_t a = rng.categorical(weights);
+    kArchetypes[a].fill(f, rng);
+  }
+
+  // Guarantee at least one extreme flow so the small-k radius matches
+  // the paper's 10^8..10^9 regime even at scaled-down n.
+  if (n >= 16) {
+    auto f = out.mutable_point(static_cast<index_t>(n / 2));
+    std::fill(f.begin(), f.end(), 0.0);
+    fill_bulk_transfer(f, rng);
+    f[kSrcBytes] = 1.38e9;
+  }
+  return out;
+}
+
+}  // namespace kc::data

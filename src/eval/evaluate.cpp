@@ -1,0 +1,116 @@
+#include "eval/evaluate.hpp"
+
+#include <stdexcept>
+
+namespace kc::eval {
+
+Evaluation covering_radius(const DistanceOracle& oracle,
+                           std::span<const index_t> pts,
+                           std::span<const index_t> centers, bool parallel) {
+  if (pts.empty()) throw std::invalid_argument("covering_radius: empty points");
+  if (centers.empty()) {
+    throw std::invalid_argument("covering_radius: empty centers");
+  }
+
+  double best = -1.0;
+  std::size_t best_pos = 0;
+
+#ifdef KC_HAVE_OPENMP
+  if (parallel) {
+#pragma omp parallel
+    {
+      double local_best = -1.0;
+      std::size_t local_pos = 0;
+#pragma omp for nowait
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        const double d = oracle.nearest_comparable(pts[i], centers);
+        if (d > local_best) {
+          local_best = d;
+          local_pos = i;
+        }
+      }
+#pragma omp critical
+      {
+        if (local_best > best) {
+          best = local_best;
+          best_pos = local_pos;
+        }
+      }
+    }
+  } else
+#else
+  (void)parallel;
+#endif
+  {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const double d = oracle.nearest_comparable(pts[i], centers);
+      if (d > best) {
+        best = d;
+        best_pos = i;
+      }
+    }
+  }
+
+  Evaluation out;
+  out.radius_comparable = best;
+  out.radius = oracle.to_reported(best);
+  out.witness = pts[best_pos];
+  return out;
+}
+
+std::vector<std::uint32_t> assign_clusters(const DistanceOracle& oracle,
+                                           std::span<const index_t> pts,
+                                           std::span<const index_t> centers,
+                                           bool parallel) {
+  if (centers.empty()) {
+    throw std::invalid_argument("assign_clusters: empty centers");
+  }
+  std::vector<std::uint32_t> assignment(pts.size(), 0);
+
+#ifdef KC_HAVE_OPENMP
+#pragma omp parallel for if (parallel)
+#else
+  (void)parallel;
+#endif
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    assignment[i] =
+        static_cast<std::uint32_t>(oracle.nearest_center(pts[i], centers));
+  }
+  return assignment;
+}
+
+ClusterStats cluster_stats(const DistanceOracle& oracle,
+                           std::span<const index_t> pts,
+                           std::span<const index_t> centers) {
+  const auto assignment = assign_clusters(oracle, pts, centers);
+
+  ClusterStats stats;
+  stats.sizes.assign(centers.size(), 0);
+  std::vector<double> radii_comp(centers.size(), 0.0);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const std::uint32_t c = assignment[i];
+    ++stats.sizes[c];
+    const double d = oracle.comparable(pts[i], centers[c]);
+    if (d > radii_comp[c]) radii_comp[c] = d;
+  }
+
+  stats.radii.resize(centers.size());
+  double sum = 0.0;
+  stats.largest_cluster = 0;
+  stats.smallest_cluster = pts.size();
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    stats.radii[c] = oracle.to_reported(radii_comp[c]);
+    sum += stats.radii[c];
+    if (stats.radii[c] > stats.max_radius) stats.max_radius = stats.radii[c];
+    if (stats.sizes[c] > stats.largest_cluster) {
+      stats.largest_cluster = stats.sizes[c];
+    }
+    if (stats.sizes[c] < stats.smallest_cluster) {
+      stats.smallest_cluster = stats.sizes[c];
+    }
+  }
+  stats.mean_radius = sum / static_cast<double>(centers.size());
+  return stats;
+}
+
+}  // namespace kc::eval

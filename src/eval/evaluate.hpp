@@ -1,0 +1,48 @@
+// Solution evaluation: the paper's "solution value" is the covering
+// radius of the returned centers over the *entire* input, computed
+// offline (it is not charged to any algorithm's runtime, matching the
+// paper's methodology of reporting quality separately from timing).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/distance.hpp"
+
+namespace kc::eval {
+
+struct Evaluation {
+  double radius_comparable = 0.0;
+  double radius = 0.0;       ///< reported metric value (the table cell)
+  index_t witness = 0;       ///< a point attaining the radius
+};
+
+/// Max over `pts` of the distance to the nearest of `centers`.
+/// OpenMP-parallel across points when built with OpenMP and
+/// `parallel` is true.
+[[nodiscard]] Evaluation covering_radius(const DistanceOracle& oracle,
+                                         std::span<const index_t> pts,
+                                         std::span<const index_t> centers,
+                                         bool parallel = true);
+
+/// assignment[i] = index into `centers` of the center nearest pts[i].
+[[nodiscard]] std::vector<std::uint32_t> assign_clusters(
+    const DistanceOracle& oracle, std::span<const index_t> pts,
+    std::span<const index_t> centers, bool parallel = true);
+
+struct ClusterStats {
+  std::vector<std::size_t> sizes;       ///< points per center
+  std::vector<double> radii;            ///< per-cluster covering radius
+  double max_radius = 0.0;              ///< == covering radius
+  double mean_radius = 0.0;             ///< average of per-cluster radii
+  std::size_t largest_cluster = 0;
+  std::size_t smallest_cluster = 0;
+};
+
+/// Per-cluster breakdown of a solution (reported-scale radii).
+[[nodiscard]] ClusterStats cluster_stats(const DistanceOracle& oracle,
+                                         std::span<const index_t> pts,
+                                         std::span<const index_t> centers);
+
+}  // namespace kc::eval

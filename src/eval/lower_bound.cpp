@@ -1,0 +1,21 @@
+#include "eval/lower_bound.hpp"
+
+#include "algo/gonzalez.hpp"
+
+namespace kc::eval {
+
+double gonzalez_lower_bound(const DistanceOracle& oracle,
+                            std::span<const index_t> pts, std::size_t k) {
+  const GonzalezResult r = gonzalez(oracle, pts, k);
+  return oracle.to_reported(r.radius_comparable) / 2.0;
+}
+
+double ratio_upper_bound(const DistanceOracle& oracle,
+                         std::span<const index_t> pts, std::size_t k,
+                         double value) {
+  const double lb = gonzalez_lower_bound(oracle, pts, k);
+  if (lb <= 0.0) return value <= 0.0 ? 1.0 : kInfDist;
+  return value / lb;
+}
+
+}  // namespace kc::eval

@@ -1,0 +1,27 @@
+// Lower bounds on the optimal k-center radius, used to report
+// approximation-ratio *upper bounds* without knowing OPT.
+#pragma once
+
+#include <span>
+
+#include "geom/distance.hpp"
+
+namespace kc::eval {
+
+/// Gonzalez lower bound: run GON for k centers; its covering radius r_k
+/// certifies k+1 points that are pairwise >= r_k apart (the k centers
+/// plus the farthest witness), so any k-clustering co-locates two of
+/// them and OPT >= r_k / 2. Returned in the reported (true-metric)
+/// scale. Costs one O(kn) GON run.
+[[nodiscard]] double gonzalez_lower_bound(const DistanceOracle& oracle,
+                                          std::span<const index_t> pts,
+                                          std::size_t k);
+
+/// Upper bound on the approximation ratio of a solution with reported
+/// radius `value`: value / gonzalez_lower_bound. A ratio <= 2 certifies
+/// the solution is within twice of optimal regardless of OPT.
+[[nodiscard]] double ratio_upper_bound(const DistanceOracle& oracle,
+                                       std::span<const index_t> pts,
+                                       std::size_t k, double value);
+
+}  // namespace kc::eval

@@ -1,0 +1,22 @@
+#include "geom/counters.hpp"
+
+namespace kc {
+namespace {
+
+thread_local WorkCounters t_counters;
+
+}  // namespace
+
+namespace counters {
+
+WorkCounters read() noexcept { return t_counters; }
+
+void add_distance_evals(std::uint64_t evals, std::uint64_t dim) noexcept {
+  t_counters.distance_evals += evals;
+  t_counters.coord_ops += evals * dim;
+}
+
+void reset() noexcept { t_counters = WorkCounters{}; }
+
+}  // namespace counters
+}  // namespace kc

@@ -1,0 +1,103 @@
+// Metrics and bulk distance kernels.
+//
+// Everything in this library compares distances far more often than it
+// reports them, so kernels operate on a *comparable* value: a number
+// that is order-isomorphic to the true metric but cheaper to compute.
+// For Euclidean (the paper's metric, §7.2) the comparable value is the
+// squared distance, which avoids a sqrt per pair; `to_reported`
+// converts back when a human-facing value (a table cell) is needed.
+// L1 and Linf use the true distance as their comparable value.
+//
+// The hot loops dispatch on the metric once per kernel call, then run
+// a tight per-metric loop with small-dimension specializations; all
+// algorithm code stays non-templated.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "geom/counters.hpp"
+#include "geom/point_set.hpp"
+
+namespace kc {
+
+enum class MetricKind {
+  L2,    ///< Euclidean; comparable value = squared distance
+  L1,    ///< Manhattan
+  Linf,  ///< Chebyshev
+};
+
+[[nodiscard]] std::string_view to_string(MetricKind kind) noexcept;
+
+/// Sentinel "no center assigned yet" comparable distance.
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// A view over a PointSet with a chosen metric. Cheap to copy; does not
+/// own the points. Thread-safe: methods only read the point set and
+/// bump thread-local work counters.
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const PointSet& points,
+                          MetricKind kind = MetricKind::L2) noexcept
+      : points_(&points), kind_(kind) {}
+
+  [[nodiscard]] const PointSet& points() const noexcept { return *points_; }
+  [[nodiscard]] MetricKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return points_->dim(); }
+
+  /// Comparable distance between points a and b.
+  [[nodiscard]] double comparable(index_t a, index_t b) const noexcept;
+
+  /// True metric distance between points a and b.
+  [[nodiscard]] double distance(index_t a, index_t b) const noexcept {
+    return to_reported(comparable(a, b));
+  }
+
+  /// Converts a comparable value to the true metric value.
+  [[nodiscard]] double to_reported(double comp) const noexcept;
+
+  /// Converts a true metric value to the comparable scale.
+  [[nodiscard]] double from_reported(double dist) const noexcept;
+
+  /// best[i] = min(best[i], comparable(ids[i], center)) for all i.
+  /// This is the workhorse of Gonzalez's algorithm and of the EIM
+  /// incremental d(x, S) maintenance. Returns nothing; work counters
+  /// record ids.size() pair evaluations.
+  void update_nearest(std::span<const index_t> ids, index_t center,
+                      std::span<double> best) const noexcept;
+
+  /// best[i] = min over c in centers of comparable(ids[i], c), folded
+  /// into the existing best[i]. Equivalent to repeated update_nearest
+  /// but with better locality for small center batches.
+  void update_nearest_multi(std::span<const index_t> ids,
+                            std::span<const index_t> centers,
+                            std::span<double> best) const noexcept;
+
+  /// Comparable distance from point `p` to the nearest of `centers`
+  /// (kInfDist if centers is empty).
+  [[nodiscard]] double nearest_comparable(
+      index_t p, std::span<const index_t> centers) const noexcept;
+
+  /// Index (into `centers`) of the nearest center to p; returns
+  /// centers.size() if centers is empty.
+  [[nodiscard]] std::size_t nearest_center(
+      index_t p, std::span<const index_t> centers) const noexcept;
+
+  /// Dense comparable distance matrix for a small subset (row-major,
+  /// ids.size()^2 entries). Used by Hochbaum-Shmoys and brute force;
+  /// callers are responsible for keeping |ids| small.
+  [[nodiscard]] std::vector<double> pairwise_comparable(
+      std::span<const index_t> ids) const;
+
+ private:
+  const PointSet* points_;
+  MetricKind kind_;
+};
+
+/// Position of the maximum element (first on ties); spans must be
+/// non-empty.
+[[nodiscard]] std::size_t argmax(std::span<const double> values) noexcept;
+
+}  // namespace kc

@@ -1,0 +1,152 @@
+#include "harness/experiment.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "algo/gonzalez.hpp"
+
+namespace kc::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) noexcept {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::string_view to_string(AlgoKind kind) noexcept {
+  switch (kind) {
+    case AlgoKind::GON: return "GON";
+    case AlgoKind::MRG: return "MRG";
+    case AlgoKind::EIM: return "EIM";
+  }
+  return "?";
+}
+
+RunResult run_algorithm(const AlgoConfig& config, const PointSet& points,
+                        std::size_t k, std::uint64_t seed, MetricKind metric) {
+  const DistanceOracle oracle(points, metric);
+  const std::vector<index_t> all = points.all_indices();
+
+  RunResult result;
+  const WorkScope work;
+
+  switch (config.kind) {
+    case AlgoKind::GON: {
+      GonzalezOptions options;
+      options.first = GonzalezOptions::FirstCenter::Random;
+      options.seed = seed;
+      const auto start = Clock::now();
+      GonzalezResult r = gonzalez(oracle, all, k, options);
+      result.wall_seconds = seconds_since(start);
+      result.sim_seconds = result.wall_seconds;
+      result.centers = std::move(r.centers);
+      break;
+    }
+    case AlgoKind::MRG: {
+      const mr::SimCluster cluster(config.machines, /*capacity_items=*/0,
+                                   config.exec);
+      MrgOptions options = config.mrg;
+      options.seed = seed;
+      const auto start = Clock::now();
+      MrgResult r = mrg(oracle, all, k, cluster, options);
+      result.wall_seconds = seconds_since(start);
+      result.sim_seconds = r.trace.simulated_seconds();
+      result.map_reduce_rounds = r.trace.num_rounds();
+      result.centers = std::move(r.centers);
+      break;
+    }
+    case AlgoKind::EIM: {
+      const mr::SimCluster cluster(config.machines, /*capacity_items=*/0,
+                                   config.exec);
+      EimOptions options = config.eim;
+      options.seed = seed;
+      const auto start = Clock::now();
+      EimResult r = eim(oracle, all, k, cluster, options);
+      result.wall_seconds = seconds_since(start);
+      result.sim_seconds = r.trace.simulated_seconds();
+      result.map_reduce_rounds = r.trace.num_rounds();
+      result.eim_iterations = r.iterations;
+      result.eim_sampled = r.sampled;
+      result.final_sample_size = r.final_sample_size;
+      result.centers = std::move(r.centers);
+      break;
+    }
+  }
+
+  result.dist_evals = work.elapsed().distance_evals;
+  // Solution value (the paper's quality metric), computed offline and
+  // not charged to the algorithm.
+  result.value = eval::covering_radius(oracle, all, result.centers).radius;
+  return result;
+}
+
+Aggregate Aggregate::of(const std::vector<RunResult>& results) {
+  Aggregate agg;
+  if (results.empty()) return agg;
+  for (const auto& r : results) {
+    agg.value += r.value;
+    agg.sim_seconds += r.sim_seconds;
+    agg.wall_seconds += r.wall_seconds;
+    agg.map_reduce_rounds += r.map_reduce_rounds;
+    agg.eim_iterations += r.eim_iterations;
+    agg.sampled_fraction += r.eim_sampled ? 1.0 : 0.0;
+    agg.dist_evals += static_cast<double>(r.dist_evals);
+  }
+  const auto n = static_cast<double>(results.size());
+  agg.value /= n;
+  agg.sim_seconds /= n;
+  agg.wall_seconds /= n;
+  agg.map_reduce_rounds /= n;
+  agg.eim_iterations /= n;
+  agg.sampled_fraction /= n;
+  agg.dist_evals /= n;
+  agg.runs = static_cast<int>(results.size());
+  return agg;
+}
+
+DatasetPool DatasetPool::make(const Generator& generate, int graphs,
+                              std::uint64_t seed) {
+  if (graphs <= 0) {
+    throw std::invalid_argument("DatasetPool: graphs must be positive");
+  }
+  DatasetPool pool;
+  Rng root(seed);
+  pool.graphs_.reserve(static_cast<std::size_t>(graphs));
+  for (int g = 0; g < graphs; ++g) {
+    Rng graph_rng = root.split(static_cast<std::uint64_t>(g));
+    pool.graphs_.push_back(generate(graph_rng));
+  }
+  return pool;
+}
+
+DatasetPool DatasetPool::wrap(PointSet points) {
+  DatasetPool pool;
+  pool.graphs_.push_back(std::move(points));
+  return pool;
+}
+
+Aggregate run_repeated(const AlgoConfig& config, const DatasetPool& pool,
+                       std::size_t k, int runs_per_graph, std::uint64_t seed,
+                       MetricKind metric) {
+  if (runs_per_graph <= 0) {
+    throw std::invalid_argument("run_repeated: runs_per_graph must be positive");
+  }
+  std::vector<RunResult> results;
+  results.reserve(static_cast<std::size_t>(pool.num_graphs() * runs_per_graph));
+  Rng root(seed);
+  for (int g = 0; g < pool.num_graphs(); ++g) {
+    for (int r = 0; r < runs_per_graph; ++r) {
+      const std::uint64_t run_seed =
+          root.split(static_cast<std::uint64_t>(g * 1000 + r))();
+      results.push_back(
+          run_algorithm(config, pool.graph(g), k, run_seed, metric));
+    }
+  }
+  return Aggregate::of(results);
+}
+
+}  // namespace kc::harness

@@ -1,0 +1,110 @@
+// Experiment driver shared by all benchmark binaries.
+//
+// Encodes the paper's protocol (§7): m = 50 simulated machines; each
+// synthetic configuration is generated as three independent graphs and
+// every algorithm runs twice per graph (six results averaged); real
+// data sets get four runs averaged. Parallel algorithms report
+// *simulated* time (sum over rounds of the max per-machine time); the
+// sequential baseline reports wall time. Solution values are covering
+// radii over the full input, evaluated offline.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/eim.hpp"
+#include "core/mrg.hpp"
+#include "eval/evaluate.hpp"
+#include "geom/distance.hpp"
+#include "mapreduce/cluster.hpp"
+#include "rng/rng.hpp"
+
+namespace kc::harness {
+
+enum class AlgoKind { GON, MRG, EIM };
+
+[[nodiscard]] std::string_view to_string(AlgoKind kind) noexcept;
+
+/// One algorithm configuration to benchmark.
+struct AlgoConfig {
+  AlgoKind kind = AlgoKind::GON;
+  std::string label;  ///< defaults to to_string(kind) if empty
+
+  int machines = 50;  ///< paper fixes m = 50 (§7.2)
+  mr::ExecMode exec = mr::ExecMode::Sequential;
+
+  MrgOptions mrg;  ///< used when kind == MRG
+  EimOptions eim;  ///< used when kind == EIM
+
+  [[nodiscard]] std::string display_label() const {
+    return label.empty() ? std::string(to_string(kind)) : label;
+  }
+};
+
+/// Outcome of a single algorithm execution on a single data set.
+struct RunResult {
+  double value = 0.0;        ///< covering radius over all points (reported)
+  double sim_seconds = 0.0;  ///< simulated parallel time (GON: == wall)
+  double wall_seconds = 0.0;
+  int map_reduce_rounds = 0; ///< 0 for the sequential baseline
+  int eim_iterations = 0;
+  bool eim_sampled = false;
+  std::size_t final_sample_size = 0;
+  std::uint64_t dist_evals = 0;
+  std::vector<index_t> centers;
+};
+
+/// Runs one algorithm once on the full point set with the given seed.
+[[nodiscard]] RunResult run_algorithm(const AlgoConfig& config,
+                                      const PointSet& points, std::size_t k,
+                                      std::uint64_t seed,
+                                      MetricKind metric = MetricKind::L2);
+
+/// Mean-aggregate of repeated runs.
+struct Aggregate {
+  double value = 0.0;
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double map_reduce_rounds = 0.0;
+  double eim_iterations = 0.0;
+  double sampled_fraction = 0.0;
+  double dist_evals = 0.0;
+  int runs = 0;
+
+  [[nodiscard]] static Aggregate of(const std::vector<RunResult>& results);
+};
+
+/// A pool of replicate data sets ("We generate three graphs of each
+/// size and type", §7.3). The generator receives a per-graph Rng.
+class DatasetPool {
+ public:
+  using Generator = std::function<PointSet(Rng&)>;
+
+  /// Generates `graphs` replicates with independent seeds derived from
+  /// `seed`.
+  static DatasetPool make(const Generator& generate, int graphs,
+                          std::uint64_t seed);
+
+  /// Wraps existing data (real data sets: one "graph").
+  static DatasetPool wrap(PointSet points);
+
+  [[nodiscard]] int num_graphs() const noexcept {
+    return static_cast<int>(graphs_.size());
+  }
+  [[nodiscard]] const PointSet& graph(int i) const { return graphs_.at(i); }
+
+ private:
+  std::vector<PointSet> graphs_;
+};
+
+/// Runs `config` `runs_per_graph` times on every graph in the pool and
+/// averages: the paper's six-results-per-synthetic-config (3 graphs x
+/// 2 runs) and four-runs-per-real-set protocols both reduce to this.
+[[nodiscard]] Aggregate run_repeated(const AlgoConfig& config,
+                                     const DatasetPool& pool, std::size_t k,
+                                     int runs_per_graph, std::uint64_t seed,
+                                     MetricKind metric = MetricKind::L2);
+
+}  // namespace kc::harness

@@ -1,0 +1,44 @@
+#include "harness/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace kc::harness {
+
+std::string format_sig(double value, int sig) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  if (value == 0.0) return "0";
+
+  // %g is exactly the paper's convention: `sig` significant digits,
+  // plain decimal in the human range, scientific outside it.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", sig, value);
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", seconds);
+  } else if (seconds >= 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2e", seconds);
+  }
+  return buf;
+}
+
+std::string format_count(std::uint64_t count) {
+  std::string digits = std::to_string(count);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace kc::harness

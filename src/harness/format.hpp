@@ -1,0 +1,20 @@
+// Number formatting helpers for paper-style output (the paper prints
+// values like 96.04, 0.961, 8.764: four significant digits).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kc::harness {
+
+/// `value` with `sig` significant digits, plain decimal notation when
+/// reasonable (|exponent| < 7), scientific otherwise.
+[[nodiscard]] std::string format_sig(double value, int sig = 4);
+
+/// Seconds with microsecond-ish resolution: "12.34", "0.00123".
+[[nodiscard]] std::string format_seconds(double seconds);
+
+/// Thousands-separated integer: 1234567 -> "1,234,567".
+[[nodiscard]] std::string format_count(std::uint64_t count);
+
+}  // namespace kc::harness

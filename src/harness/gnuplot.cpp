@@ -1,0 +1,102 @@
+#include "harness/gnuplot.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace kc::harness {
+
+namespace {
+
+[[nodiscard]] bool parse_number(const std::string& cell, double& out) {
+  char* end = nullptr;
+  out = std::strtod(cell.c_str(), &end);
+  return end != cell.c_str() && *end == '\0';
+}
+
+/// Escapes double quotes for gnuplot string literals.
+[[nodiscard]] std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_gnuplot(const Table& table, const std::string& basename,
+                   const PlotSpec& spec) {
+  if (table.headers().size() < 2) {
+    throw std::invalid_argument(
+        "write_gnuplot: need an x column plus at least one series");
+  }
+
+  const std::string dat_path = basename + ".dat";
+  const std::string plt_path = basename + ".plt";
+
+  {
+    std::ofstream dat(dat_path);
+    if (!dat) {
+      throw std::runtime_error("write_gnuplot: cannot open '" + dat_path +
+                               "'");
+    }
+    dat << "#";
+    for (const auto& h : table.headers()) dat << ' ' << h;
+    dat << '\n';
+    for (const auto& row : table.rows()) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        double value = 0.0;
+        if (c != 0) dat << ' ';
+        if (parse_number(row[c], value)) {
+          dat << row[c];
+        } else {
+          dat << "nan";
+        }
+      }
+      dat << '\n';
+    }
+    if (!dat) {
+      throw std::runtime_error("write_gnuplot: write failed for '" +
+                               dat_path + "'");
+    }
+  }
+
+  std::vector<std::size_t> series = spec.series;
+  if (series.empty()) {
+    for (std::size_t c = 1; c < table.headers().size(); ++c) {
+      series.push_back(c);
+    }
+  }
+
+  std::ofstream plt(plt_path);
+  if (!plt) {
+    throw std::runtime_error("write_gnuplot: cannot open '" + plt_path + "'");
+  }
+  plt << "set terminal pngcairo size 800,600\n";
+  plt << "set output " << quote(basename + ".png") << "\n";
+  plt << "set title " << quote(spec.title) << "\n";
+  plt << "set xlabel " << quote(spec.xlabel) << "\n";
+  plt << "set ylabel " << quote(spec.ylabel) << "\n";
+  if (spec.log_y) plt << "set logscale y\n";
+  if (spec.log_x) plt << "set logscale x\n";
+  plt << "set key top right\n";
+  plt << "plot";
+  bool first = true;
+  for (const std::size_t c : series) {
+    if (c == 0 || c >= table.headers().size()) continue;
+    if (!first) plt << ',';
+    first = false;
+    plt << " " << quote(dat_path) << " using 1:" << (c + 1)
+        << " with linespoints title " << quote(table.headers()[c]);
+  }
+  plt << '\n';
+  if (!plt) {
+    throw std::runtime_error("write_gnuplot: write failed for '" + plt_path +
+                             "'");
+  }
+}
+
+}  // namespace kc::harness

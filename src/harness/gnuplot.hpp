@@ -1,0 +1,31 @@
+// Gnuplot emission for the figure benches: turns a harness::Table whose
+// first column is the x-axis into a .dat file plus a ready-to-run .plt
+// script, so `bench_fig2_runtime_vs_k --plot=fig2a` followed by
+// `gnuplot fig2a.plt` recreates the paper's log-scale plots.
+#pragma once
+
+#include <string>
+
+#include "harness/table.hpp"
+
+namespace kc::harness {
+
+struct PlotSpec {
+  std::string title;
+  std::string xlabel = "k";
+  std::string ylabel = "Runtime";
+  bool log_y = true;   ///< the paper's runtime/value axes are log-scale
+  bool log_x = false;
+  /// Columns (0-based, excluding the x column) to plot; empty = all.
+  std::vector<std::size_t> series;
+};
+
+/// Writes `<basename>.dat` (whitespace-separated, column 1 = x) and
+/// `<basename>.plt` (a standalone gnuplot script emitting
+/// `<basename>.png`). Cells that do not parse as numbers are written
+/// as "nan" so gnuplot skips them. Throws std::runtime_error on I/O
+/// failure.
+void write_gnuplot(const Table& table, const std::string& basename,
+                   const PlotSpec& spec);
+
+}  // namespace kc::harness

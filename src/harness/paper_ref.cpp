@@ -1,0 +1,112 @@
+#include "harness/paper_ref.hpp"
+
+#include <array>
+
+namespace kc::harness {
+
+namespace {
+
+// Values transcribed from the paper (arXiv:1604.03228v1).
+
+constexpr std::array<PaperQualityRow, 6> kTable2{{
+    // k     MRG     EIM     GON
+    {2, 96.04, 93.11, 95.86},
+    {5, 61.90, 61.58, 63.31},
+    {10, 41.31, 39.43, 39.72},
+    {25, 0.961, 0.854, 0.961},
+    {50, 0.762, 0.683, 0.719},
+    {100, 0.607, 0.556, 0.573},
+}};
+
+constexpr std::array<PaperQualityRow, 6> kTable3{{
+    {2, 91.33, 95.80, 91.18},
+    {5, 50.68, 50.65, 53.14},
+    {10, 33.35, 31.12, 32.35},
+    {25, 18.49, 18.01, 18.27},
+    {50, 13.14, 12.39, 12.36},
+    {100, 9.144, 8.764, 8.727},
+}};
+
+constexpr std::array<PaperQualityRow, 6> kTable4{{
+    {2, 97.96, 93.69, 93.37},
+    {5, 64.61, 64.28, 61.72},
+    {10, 40.17, 40.05, 40.39},
+    {25, 0.932, 0.828, 0.939},
+    {50, 0.668, 0.643, 0.655},
+    {100, 0.515, 0.530, 0.500},
+}};
+
+constexpr std::array<PaperQualityRow, 6> kTable5{{
+    {2, 19.41, 18.60, 18.17},
+    {5, 18.06, 17.07, 17.25},
+    {10, 15.12, 14.20, 15.03},
+    {25, 12.13, 11.98, 11.84},
+    {50, 10.07, 9.418, 9.617},
+    {100, 8.774, 9.241, 8.396},
+}};
+
+constexpr std::array<PaperPhiRow, 6> kTable6{{
+    // k    phi=1  phi=4  phi=6  phi=8
+    {2, 88.4, 80.4, 85.5, 86.5},
+    {5, 59.9, 60.9, 56.5, 61.9},
+    {10, 36.2, 35.5, 34.7, 35.3},
+    {25, 0.796, 0.780, 0.826, 0.840},
+    {50, 0.630, 0.617, 0.610, 0.666},
+    {100, 0.478, 0.492, 0.505, 0.535},
+}};
+
+constexpr std::array<PaperPhiRow, 6> kTable7{{
+    {2, 0.050, 0.059, 0.165, 0.135},
+    {5, 0.080, 0.130, 0.368, 0.314},
+    {10, 0.283, 0.480, 0.549, 0.552},
+    {25, 0.588, 0.505, 1.47, 1.42},
+    {50, 0.693, 0.816, 2.84, 2.24},
+    {100, 0.726, 0.757, 3.78, 3.59},
+}};
+
+}  // namespace
+
+std::span<const PaperQualityRow> paper_table2() noexcept { return kTable2; }
+std::span<const PaperQualityRow> paper_table3() noexcept { return kTable3; }
+std::span<const PaperQualityRow> paper_table4() noexcept { return kTable4; }
+std::span<const PaperQualityRow> paper_table5() noexcept { return kTable5; }
+std::span<const PaperPhiRow> paper_table6() noexcept { return kTable6; }
+std::span<const PaperPhiRow> paper_table7() noexcept { return kTable7; }
+
+std::optional<double> paper_value(int table, int k, std::string_view column) {
+  const auto find_quality =
+      [&](std::span<const PaperQualityRow> rows) -> std::optional<double> {
+    for (const auto& row : rows) {
+      if (row.k != k) continue;
+      if (column == "MRG") return row.mrg;
+      if (column == "EIM") return row.eim;
+      if (column == "GON") return row.gon;
+      return std::nullopt;
+    }
+    return std::nullopt;
+  };
+  const auto find_phi =
+      [&](std::span<const PaperPhiRow> rows) -> std::optional<double> {
+    for (const auto& row : rows) {
+      if (row.k != k) continue;
+      if (column == "1") return row.phi1;
+      if (column == "4") return row.phi4;
+      if (column == "6") return row.phi6;
+      if (column == "8") return row.phi8;
+      return std::nullopt;
+    }
+    return std::nullopt;
+  };
+
+  switch (table) {
+    case 2: return find_quality(kTable2);
+    case 3: return find_quality(kTable3);
+    case 4: return find_quality(kTable4);
+    case 5: return find_quality(kTable5);
+    case 6: return find_phi(kTable6);
+    case 7: return find_phi(kTable7);
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace kc::harness

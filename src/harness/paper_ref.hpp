@@ -1,0 +1,54 @@
+// The paper's published experiment numbers (Tables 2-7), embedded so
+// every bench can print "measured vs paper" side by side and
+// EXPERIMENTS.md can be regenerated mechanically.
+//
+// Absolute agreement is not expected — the paper ran a 2011-era Core
+// i7-2600 and its own data files; what must match is the *shape*: the
+// algorithm ordering, rough factors, and trend reversals.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace kc::harness {
+
+/// One row of a paper quality table: solution values at a given k.
+struct PaperQualityRow {
+  int k;
+  double mrg;
+  double eim;
+  double gon;
+};
+
+/// Table 2: GAU, n = 1,000,000, k' = 25.
+[[nodiscard]] std::span<const PaperQualityRow> paper_table2() noexcept;
+/// Table 3: UNIF, n = 100,000.
+[[nodiscard]] std::span<const PaperQualityRow> paper_table3() noexcept;
+/// Table 4: UNB, n = 200,000, k' = 25.
+[[nodiscard]] std::span<const PaperQualityRow> paper_table4() noexcept;
+/// Table 5: POKER HAND.
+[[nodiscard]] std::span<const PaperQualityRow> paper_table5() noexcept;
+
+/// One row of a phi-sweep table (Tables 6 and 7): EIM with
+/// phi in {1, 4, 6, 8} on GAU (n = 200,000, k' = 25).
+struct PaperPhiRow {
+  int k;
+  double phi1;
+  double phi4;
+  double phi6;
+  double phi8;
+};
+
+/// Table 6: average solution value over phi.
+[[nodiscard]] std::span<const PaperPhiRow> paper_table6() noexcept;
+/// Table 7: average runtime (seconds) over phi.
+[[nodiscard]] std::span<const PaperPhiRow> paper_table7() noexcept;
+
+/// Looks up the paper value for (table, k, column). Returns nullopt if
+/// the paper did not report that cell. `column` is "MRG"/"EIM"/"GON"
+/// for tables 2-5 and "1"/"4"/"6"/"8" for tables 6-7.
+[[nodiscard]] std::optional<double> paper_value(int table, int k,
+                                                std::string_view column);
+
+}  // namespace kc::harness

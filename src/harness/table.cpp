@@ -1,0 +1,83 @@
+#include "harness/table.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace kc::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: at least one header required");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) line += "  ";
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        line += cells[c];
+        line.append(pad, ' ');
+      } else {
+        line.append(pad, ' ');
+        line += cells[c];
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Table::write_csv: cannot open '" + path + "'");
+  }
+  const auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      // Cells are simple numbers/identifiers; quote only if needed.
+      if (cells[c].find(',') != std::string::npos) {
+        out << '"' << cells[c] << '"';
+      } else {
+        out << cells[c];
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  if (!out) {
+    throw std::runtime_error("Table::write_csv: write failed for '" + path +
+                             "'");
+  }
+}
+
+}  // namespace kc::harness

@@ -1,0 +1,37 @@
+// Fixed-width console tables and CSV emission for the benchmark
+// harnesses: every bench prints the paper's rows through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kc::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+  /// Renders with column alignment (first column left, rest right).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes headers + rows as CSV. Throws std::runtime_error on I/O error.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kc::harness

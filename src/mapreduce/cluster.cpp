@@ -1,0 +1,110 @@
+#include "mapreduce/cluster.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#ifdef KC_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace kc::mr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) noexcept {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::string_view to_string(ExecMode mode) noexcept {
+  switch (mode) {
+    case ExecMode::Sequential: return "sequential";
+    case ExecMode::OpenMP: return "openmp";
+  }
+  return "?";
+}
+
+SimCluster::SimCluster(int machines, std::size_t capacity_items, ExecMode mode)
+    : machines_(machines), capacity_(capacity_items), mode_(mode) {
+  if (machines <= 0) {
+    throw std::invalid_argument("SimCluster: machines must be positive");
+  }
+#ifndef KC_HAVE_OPENMP
+  // Silently degrade: the semantics are identical, only host-level
+  // concurrency differs.
+  mode_ = ExecMode::Sequential;
+#endif
+}
+
+void SimCluster::check_capacity(std::size_t items_on_one_machine,
+                                std::string_view round_name) const {
+  if (capacity_ != 0 && items_on_one_machine > capacity_) {
+    throw std::length_error("SimCluster: round '" + std::string(round_name) +
+                            "' would place " +
+                            std::to_string(items_on_one_machine) +
+                            " items on one machine (capacity " +
+                            std::to_string(capacity_) + ")");
+  }
+}
+
+RoundStats& SimCluster::run_round(std::string_view name, std::span<Task> tasks,
+                                  JobTrace& trace) const {
+  RoundStats stats;
+  stats.name = std::string(name);
+  stats.machines_used = static_cast<int>(tasks.size());
+
+  const auto round_start = Clock::now();
+  std::vector<double> task_seconds(tasks.size(), 0.0);
+  std::vector<std::uint64_t> task_evals(tasks.size(), 0);
+
+  if (mode_ == ExecMode::OpenMP) {
+#ifdef KC_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const WorkScope work;
+      const auto start = Clock::now();
+      tasks[t]();
+      task_seconds[t] = seconds_since(start);
+      task_evals[t] = work.elapsed().distance_evals;
+    }
+#endif
+  } else {
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const WorkScope work;
+      const auto start = Clock::now();
+      tasks[t]();
+      task_seconds[t] = seconds_since(start);
+      task_evals[t] = work.elapsed().distance_evals;
+    }
+  }
+
+  stats.wall_seconds = seconds_since(round_start);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    stats.total_machine_seconds += task_seconds[t];
+    stats.total_dist_evals += task_evals[t];
+    if (task_seconds[t] > stats.max_machine_seconds) {
+      stats.max_machine_seconds = task_seconds[t];
+    }
+    if (task_evals[t] > stats.max_machine_dist_evals) {
+      stats.max_machine_dist_evals = task_evals[t];
+    }
+  }
+  return trace.add_round(std::move(stats));
+}
+
+RoundStats& SimCluster::run_indexed_round(std::string_view name, int count,
+                                          const std::function<void(int)>& body,
+                                          JobTrace& trace) const {
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    tasks.emplace_back([&body, i] { body(i); });
+  }
+  return run_round(name, tasks, trace);
+}
+
+}  // namespace kc::mr

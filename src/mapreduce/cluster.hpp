@@ -1,0 +1,66 @@
+// Simulated MapReduce cluster.
+//
+// Executes the reducer tasks of one round either sequentially (the
+// paper's methodology: run each simulated machine in turn and charge
+// the round the *maximum* per-machine time) or with OpenMP across host
+// cores. Either way, each task is timed individually and its
+// distance-evaluation work is attributed via the thread-local counters,
+// so the simulated-time metric is identical across execution modes.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "geom/counters.hpp"
+#include "mapreduce/round_stats.hpp"
+#include "mapreduce/trace.hpp"
+
+namespace kc::mr {
+
+enum class ExecMode {
+  Sequential,  ///< one task at a time; faithful to §7.1
+  OpenMP,      ///< tasks spread across host threads (if built with OpenMP)
+};
+
+[[nodiscard]] std::string_view to_string(ExecMode mode) noexcept;
+
+class SimCluster {
+ public:
+  /// A cluster of `machines` simulated reducers with per-machine RAM
+  /// `capacity_items` (measured in points; 0 = unlimited). Capacity is
+  /// advisory: algorithms consult it to decide their round structure
+  /// and call check_capacity() to assert they respected it.
+  explicit SimCluster(int machines, std::size_t capacity_items = 0,
+                      ExecMode mode = ExecMode::Sequential);
+
+  [[nodiscard]] int machines() const noexcept { return machines_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
+
+  /// Throws std::length_error if a reducer would receive more than the
+  /// configured capacity (no-op when capacity is unlimited).
+  void check_capacity(std::size_t items_on_one_machine,
+                      std::string_view round_name) const;
+
+  using Task = std::function<void()>;
+
+  /// Runs the tasks of one round (one task = one reducer) and appends a
+  /// RoundStats entry to `trace`. Returns a reference to that entry so
+  /// callers can annotate items_in / items_out / shuffle_items.
+  RoundStats& run_round(std::string_view name, std::span<Task> tasks,
+                        JobTrace& trace) const;
+
+  /// Convenience: `count` reducers, task receives its machine index.
+  RoundStats& run_indexed_round(std::string_view name, int count,
+                                const std::function<void(int)>& body,
+                                JobTrace& trace) const;
+
+ private:
+  int machines_;
+  std::size_t capacity_;
+  ExecMode mode_;
+};
+
+}  // namespace kc::mr

@@ -1,0 +1,42 @@
+// Mapper-side partitioning of a record set across reducers.
+//
+// Algorithm 1 line 3: "The mapper arbitrarily partitions V into sets
+// V_1 ... V_m such that the union is V and |V_i| <= ceil(n/m)". The
+// paper allows any partition ("arbitrarily"), so the strategy is a
+// library knob; the adversarial-tightness experiments inject an
+// explicit assignment.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "geom/point_set.hpp"
+#include "rng/rng.hpp"
+
+namespace kc::mr {
+
+enum class PartitionStrategy {
+  Block,       ///< contiguous chunks, sizes differ by at most one
+  RoundRobin,  ///< item i goes to machine i mod m
+  Shuffled,    ///< uniformly random balanced partition (needs an Rng)
+  Explicit,    ///< caller-provided machine per item (adversarial tests)
+};
+
+[[nodiscard]] std::string_view to_string(PartitionStrategy s) noexcept;
+
+/// Partitions `items` into at most `machines` non-empty parts.
+///
+/// Invariants (enforced, tested):
+///  - the multiset union of the parts equals `items`;
+///  - every part has at most ceil(|items|/machines) elements for
+///    Block/RoundRobin/Shuffled;
+///  - parts are non-empty (fewer parts are returned when |items| < machines).
+///
+/// `assignment` is only read for Explicit (assignment[i] = machine of
+/// items[i], values in [0, machines)); `rng` only for Shuffled.
+[[nodiscard]] std::vector<std::vector<index_t>> partition_items(
+    std::span<const index_t> items, int machines, PartitionStrategy strategy,
+    Rng* rng = nullptr, std::span<const int> assignment = {});
+
+}  // namespace kc::mr

@@ -1,0 +1,20 @@
+#include "mapreduce/round_stats.hpp"
+
+#include <cstdio>
+
+namespace kc::mr {
+
+std::string RoundStats::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "round %2d %-24s machines=%3d max=%.6fs total=%.6fs "
+                "in=%llu out=%llu dist=%llu",
+                round_index, name.c_str(), machines_used, max_machine_seconds,
+                total_machine_seconds,
+                static_cast<unsigned long long>(items_in),
+                static_cast<unsigned long long>(items_out),
+                static_cast<unsigned long long>(total_dist_evals));
+  return buf;
+}
+
+}  // namespace kc::mr

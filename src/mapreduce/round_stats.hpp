@@ -1,0 +1,36 @@
+// Per-round accounting for the simulated MapReduce cluster.
+//
+// The paper's experimental method (§7.1): "We simulate the parallel
+// machines sequentially on a single machine, taking the longest
+// processing time of the simulated machines as the processing time for
+// that MapReduce round." RoundStats records exactly that quantity
+// (max_machine_seconds) plus enough detail to audit it: total work,
+// per-round shuffle volume, and distance-evaluation counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kc::mr {
+
+struct RoundStats {
+  std::string name;            ///< human-readable round label
+  int round_index = 0;         ///< 0-based position within the job
+  int machines_used = 0;       ///< reducers that ran this round
+
+  double max_machine_seconds = 0.0;   ///< the paper's "processing time"
+  double total_machine_seconds = 0.0; ///< sum over machines (true work)
+  double wall_seconds = 0.0;          ///< host wall time for the round
+
+  std::uint64_t max_machine_dist_evals = 0;
+  std::uint64_t total_dist_evals = 0;
+
+  std::uint64_t items_in = 0;     ///< records entering the round (mapper side)
+  std::uint64_t items_out = 0;    ///< records produced by the reducers
+  std::uint64_t shuffle_items = 0;///< records moved between machines
+
+  /// One-line summary, e.g. for --trace output.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace kc::mr

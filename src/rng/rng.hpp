@@ -1,0 +1,97 @@
+// Deterministic, splittable random number generation for reproducible
+// experiments.
+//
+// The library never uses std::random_device or global state: every
+// algorithm and generator takes an explicit `Rng` (or a seed), and a
+// parent Rng can derive statistically independent child streams with
+// `split()`, so per-machine randomness in the simulated MapReduce
+// cluster is reproducible regardless of execution order or thread
+// count.
+//
+// Engine: xoshiro256** (Blackman & Vigna), seeded via SplitMix64.
+// Both are tiny, fast, and public-domain algorithms; implemented here
+// from the published reference descriptions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace kc {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and for deriving child stream seeds.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** pseudo-random generator with explicit, value-semantic
+/// state. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed), as recommended
+  /// by the xoshiro authors (never produces the all-zero state).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 random bits.
+  result_type operator()() noexcept;
+
+  /// Derives an independent child stream. Children with distinct
+  /// `stream_id`s (or from different parents) are statistically
+  /// independent for all practical purposes: the child seed mixes the
+  /// parent's next output with the stream id through SplitMix64.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t bound) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Standard normal via Marsaglia's polar method (cached spare value).
+  [[nodiscard]] double gaussian() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double gaussian(double mean, double sigma) noexcept;
+
+  /// Exponential with rate lambda (> 0).
+  [[nodiscard]] double exponential(double lambda) noexcept;
+
+  /// Log-uniform over [lo, hi], both > 0: exp(Uniform(ln lo, ln hi)).
+  /// Models heavy-tailed magnitudes such as network byte counts.
+  [[nodiscard]] double log_uniform(double lo, double hi) noexcept;
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples an index from a discrete distribution given non-negative
+  /// weights (need not be normalized). Returns weights.size() - 1 on
+  /// degenerate input (all-zero weights).
+  [[nodiscard]] std::size_t categorical(std::span<const double> weights) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace kc

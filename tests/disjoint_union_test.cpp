@@ -1,0 +1,118 @@
+// Tests for the external-memory disjoint-union extension (§3.2's
+// beyond-scope remark, implemented in core/disjoint_union.*).
+#include <gtest/gtest.h>
+
+#include "core/disjoint_union.hpp"
+#include "test_util.hpp"
+
+namespace kc {
+namespace {
+
+TEST(DisjointUnion, SingleInstanceMatchesPlainMrgStructure) {
+  const PointSet ps = test::small_gaussian_instance(5, 200, 1);
+  const DistanceOracle oracle(ps);
+  const auto all = ps.all_indices();
+  const mr::SimCluster cluster(10);
+  DisjointUnionOptions options;
+  options.instances = 1;
+  const auto result = mrg_disjoint_union(oracle, all, 5, cluster, options);
+  ASSERT_EQ(result.chunk_results.size(), 1u);
+  EXPECT_EQ(result.centers.size(), 5u);
+  // One 2-round chunk + union pass: guarantee 2*(1+2) = 6.
+  EXPECT_EQ(result.guaranteed_factor, 6);
+}
+
+TEST(DisjointUnion, ChunksPartitionTheInput) {
+  const PointSet ps = test::small_gaussian_instance(4, 250, 2);
+  const DistanceOracle oracle(ps);
+  const auto all = ps.all_indices();
+  const mr::SimCluster cluster(5);
+  DisjointUnionOptions options;
+  options.instances = 4;
+  const auto result = mrg_disjoint_union(oracle, all, 4, cluster, options);
+  EXPECT_EQ(result.chunk_results.size(), 4u);
+  // Every chunk contributed k centers to the union round.
+  EXPECT_EQ(result.union_trace.rounds()[0].items_in, 4u * 4u);
+  EXPECT_EQ(result.centers.size(), 4u);
+  EXPECT_TRUE(test::valid_center_set(result.centers, ps.size()));
+}
+
+TEST(DisjointUnion, HandlesMoreInstancesThanPoints) {
+  const PointSet ps{{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+  const DistanceOracle oracle(ps);
+  const auto all = ps.all_indices();
+  const mr::SimCluster cluster(2);
+  DisjointUnionOptions options;
+  options.instances = 10;  // clamped to n
+  const auto result = mrg_disjoint_union(oracle, all, 2, cluster, options);
+  EXPECT_EQ(result.centers.size(), 2u);
+}
+
+TEST(DisjointUnion, RejectsInvalidArguments) {
+  const PointSet ps{{0.0, 0.0}};
+  const DistanceOracle oracle(ps);
+  const auto all = ps.all_indices();
+  const mr::SimCluster cluster(2);
+  EXPECT_THROW((void)mrg_disjoint_union(oracle, all, 0, cluster),
+               std::invalid_argument);
+  EXPECT_THROW((void)mrg_disjoint_union(oracle, {}, 1, cluster),
+               std::invalid_argument);
+  DisjointUnionOptions bad;
+  bad.instances = 0;
+  EXPECT_THROW((void)mrg_disjoint_union(oracle, all, 1, cluster, bad),
+               std::invalid_argument);
+}
+
+TEST(DisjointUnion, DeterministicGivenSeed) {
+  const PointSet ps = test::small_gaussian_instance(5, 100, 3);
+  const DistanceOracle oracle(ps);
+  const auto all = ps.all_indices();
+  const mr::SimCluster cluster(5);
+  DisjointUnionOptions options;
+  options.instances = 3;
+  options.mrg.seed = 17;
+  const auto a = mrg_disjoint_union(oracle, all, 5, cluster, options);
+  const auto b = mrg_disjoint_union(oracle, all, 5, cluster, options);
+  EXPECT_EQ(a.centers, b.centers);
+}
+
+class DisjointUnionApproximation
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DisjointUnionApproximation, WithinSixTimesPlantedOptimum) {
+  Rng rng(GetParam());
+  const auto inst = data::make_planted(5, 41, 1.0, 12.0, 2, rng);
+  const DistanceOracle oracle(inst.points);
+  const auto all = inst.points.all_indices();
+  const mr::SimCluster cluster(5);
+  DisjointUnionOptions options;
+  options.instances = 3;
+  options.mrg.seed = GetParam();
+  options.mrg.partition = mr::PartitionStrategy::Shuffled;
+  const auto result = mrg_disjoint_union(oracle, all, 5, cluster, options);
+  EXPECT_EQ(result.guaranteed_factor, 6);
+  EXPECT_LE(test::value_of(oracle, all, result.centers),
+            6.0 * inst.opt_radius + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjointUnionApproximation,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(DisjointUnion, QualityComparableToSingleJobInPractice) {
+  // The worst case loosens to 6*OPT but measured quality stays near
+  // the one-job MRG result on clustered data.
+  const PointSet ps = test::small_gaussian_instance(8, 1000, 4);
+  const DistanceOracle oracle(ps);
+  const auto all = ps.all_indices();
+  const mr::SimCluster cluster(8);
+  DisjointUnionOptions options;
+  options.instances = 4;
+  const auto split = mrg_disjoint_union(oracle, all, 8, cluster, options);
+  const auto whole = mrg(oracle, all, 8, cluster, {});
+  const double v_split = test::value_of(oracle, all, split.centers);
+  const double v_whole = test::value_of(oracle, all, whole.centers);
+  EXPECT_LE(v_split, 2.0 * v_whole + 1e-9);
+}
+
+}  // namespace
+}  // namespace kc

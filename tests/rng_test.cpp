@@ -1,0 +1,244 @@
+#include "rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace kc {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 123;
+  std::uint64_t s2 = 123;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64_next(s1), splitmix64_next(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  std::uint64_t a = 1;
+  std::uint64_t b = 2;
+  EXPECT_NE(splitmix64_next(a), splitmix64_next(b));
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  // xoshiro must not collapse to the all-zero state.
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 16; ++i) acc |= rng();
+  EXPECT_NE(acc, 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 17.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 17.0);
+  }
+}
+
+TEST(Rng, UniformIntWithinBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_int(13), 13u);
+  }
+}
+
+TEST(Rng, UniformIntZeroBoundReturnsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(0), 0u);
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntIsApproximatelyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(19);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMomentsAreStandard) {
+  Rng rng(23);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaledMeanSigma) {
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(10.0, 2.0);
+    sum += g;
+    sum_sq += (g - 10.0) * (g - 10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(31);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, LogUniformStaysInRange) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.log_uniform(1e2, 1e8);
+    EXPECT_GE(v, 1e2 * (1 - 1e-12));
+    EXPECT_LE(v, 1e8 * (1 + 1e-12));
+  }
+}
+
+TEST(Rng, LogUniformMedianIsGeometricMean) {
+  Rng rng(41);
+  std::vector<double> vals(20001);
+  for (auto& v : vals) v = rng.log_uniform(1.0, 1e6);
+  std::nth_element(vals.begin(), vals.begin() + 10000, vals.end());
+  EXPECT_NEAR(std::log10(vals[10000]), 3.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(43);
+  Rng child_a = parent.split(0);
+  Rng child_b = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child_a() == child_b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng p1(47);
+  Rng p2(47);
+  Rng c1 = p1.split(5);
+  Rng c2 = p2.split(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(std::span<int>(v));
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleActuallyMoves) {
+  Rng rng(59);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(std::span<int>(v));
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) moved += (v[i] != i) ? 1 : 0;
+  EXPECT_GT(moved, 50);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(61);
+  const std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalDegenerateWeights) {
+  Rng rng(67);
+  const std::vector<double> zero{0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.categorical(zero), 2u);  // documented fallback: last index
+  const std::vector<double> single{5.0};
+  EXPECT_EQ(rng.categorical(single), 0u);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace kc
