@@ -28,8 +28,46 @@ void run(kc::cli::Args& args) {
                               1'000'000});
   }
   const auto k_values = args.size_list("k", {10, 100});
+  // --sweep-exec: additionally compare *host wall time* per execution
+  // backend (simulated time is backend-invariant by construction, so
+  // the backend columns report the metric the backend can change).
+  const bool sweep_exec = args.flag("sweep-exec");
   reject_unknown_flags(args);
   print_banner("Figure 4", "Runtime over n (GAU k'=25) at fixed k", options);
+
+  if (sweep_exec) {
+    const auto backends = backend_sweep(options);
+    for (const std::size_t k : k_values) {
+      std::vector<std::string> headers{"n"};
+      for (const auto& [name, backend] : backends) {
+        (void)backend;
+        for (const auto& algo : standard_algos(options)) {
+          headers.push_back(algo.display_label() + "@" + name + " (wall s)");
+        }
+      }
+      kc::harness::Table table(headers);
+      for (const std::size_t n : ns) {
+        const auto pool = DatasetPool::make(
+            [n](kc::Rng& rng) {
+              return kc::data::generate_gau(n, 25, 2, 100.0, 0.1, rng);
+            },
+            options.graphs, options.seed ^ n);
+        std::vector<std::string> row{kc::harness::format_count(n)};
+        for (const auto& [name, backend] : backends) {
+          for (auto algo : standard_algos(options)) {
+            algo.backend = backend;
+            const auto agg = kc::harness::run_repeated(
+                algo, pool, k, options.runs, options.seed ^ (n + k));
+            row.push_back(kc::harness::format_seconds(agg.wall_seconds));
+          }
+        }
+        table.add_row(std::move(row));
+      }
+      std::printf("--- exec sweep, k = %zu ---\n%s\n", k,
+                  table.to_string().c_str());
+    }
+    return;
+  }
 
   for (const std::size_t k : k_values) {
     std::vector<std::string> headers{"n"};

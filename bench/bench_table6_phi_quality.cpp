@@ -39,6 +39,8 @@ void run(kc::cli::Args& args) {
     config.kind = AlgoKind::EIM;
     config.machines = options.machines;
     config.exec = options.exec;
+    config.threads = options.threads;
+    config.backend = options.resolve_backend();
     config.eim.phi = static_cast<double>(phi);
     config.label = std::to_string(phi);  // column label = paper's phi
     algos.push_back(config);

@@ -45,6 +45,8 @@ void run(kc::cli::Args& args) {
       config.kind = AlgoKind::EIM;
       config.machines = options.machines;
       config.exec = options.exec;
+      config.threads = options.threads;
+      config.backend = options.resolve_backend();
       config.eim.phi = static_cast<double>(phi);
       const auto agg = kc::harness::run_repeated(config, pool, k, options.runs,
                                                  options.seed ^ k);

@@ -10,17 +10,21 @@
 //   --csv=PATH     also emit the table as CSV
 //   --machines=M   simulated cluster size (paper: 50)
 //   --seed=S       root seed
-//   --exec=omp     run simulated machines on OpenMP host threads
+//   --exec=E       execution backend: seq (default), openmp, pool
+//   --threads=N    host threads for openmp/pool (0 = hardware default)
 // Measured cells are printed next to the paper's published numbers
-// where the paper reports that cell.
+// where the paper reports that cell. The backend changes host wall
+// time only; every simulated metric is backend-invariant.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cli/args.hpp"
@@ -46,7 +50,20 @@ struct BenchOptions {
   int runs = 2;
   std::optional<std::string> csv;
   std::optional<std::string> plot;  ///< gnuplot basename (--plot=NAME)
-  kc::mr::ExecMode exec = kc::mr::ExecMode::Sequential;
+  kc::exec::BackendKind exec = kc::exec::BackendKind::Sequential;
+  int threads = 0;  ///< 0 = backend default
+
+  /// The backend --exec/--threads describe: one instance for the whole
+  /// bench run, so a thread pool's workers persist across every round
+  /// of every sweep cell. Constructed on first use so paths that bring
+  /// their own backends (--sweep-exec) never spawn an idle pool.
+  [[nodiscard]] const std::shared_ptr<kc::exec::ExecutionBackend>&
+  resolve_backend() const {
+    if (backend_ == nullptr) {
+      backend_ = kc::exec::make_backend(exec, threads);
+    }
+    return backend_;
+  }
 
   /// Picks a size: quick < scaled default < full (paper size).
   [[nodiscard]] std::size_t pick(std::size_t quick_n, std::size_t default_n,
@@ -54,6 +71,9 @@ struct BenchOptions {
     if (quick) return quick_n;
     return full ? full_n : default_n;
   }
+
+ private:
+  mutable std::shared_ptr<kc::exec::ExecutionBackend> backend_;
 };
 
 /// Parses the shared flags. `default_graphs`/`default_runs` give the
@@ -69,11 +89,8 @@ inline BenchOptions parse_common(kc::cli::Args& args, int default_graphs = 1,
   options.machines = static_cast<int>(args.integer("machines", 50));
   options.csv = args.str("csv");
   options.plot = args.str("plot");
-  if (const auto exec = args.str("exec")) {
-    options.exec = (*exec == "omp" || *exec == "openmp")
-                       ? kc::mr::ExecMode::OpenMP
-                       : kc::mr::ExecMode::Sequential;
-  }
+  options.exec = kc::cli::exec_backend(args);
+  options.threads = kc::cli::exec_threads(args);
   options.graphs = options.full ? full_graphs : default_graphs;
   options.runs = options.full ? full_runs : default_runs;
   if (options.quick) {
@@ -100,8 +117,11 @@ inline void print_banner(const std::string& experiment,
                          const BenchOptions& options) {
   std::printf("=== %s ===\n%s\n", experiment.c_str(), description.c_str());
   std::printf(
-      "protocol: m=%d simulated machines, %d graph(s) x %d run(s)%s%s\n\n",
+      "protocol: m=%d simulated machines, %d graph(s) x %d run(s), "
+      "exec=%.*s%s%s\n\n",
       options.machines, options.graphs, options.runs,
+      static_cast<int>(kc::exec::to_string(options.exec).size()),
+      kc::exec::to_string(options.exec).data(),
       options.full ? " [--full: paper scale]" : "",
       options.quick ? " [--quick]" : "");
 }
@@ -116,8 +136,29 @@ inline std::vector<AlgoConfig> standard_algos(const BenchOptions& options) {
   for (auto& a : algos) {
     a.machines = options.machines;
     a.exec = options.exec;
+    a.threads = options.threads;
+    a.backend = options.resolve_backend();
   }
   return algos;
+}
+
+/// The execution backends this build can sweep (used by --sweep-exec):
+/// sequential, the persistent thread pool, and OpenMP when compiled in.
+/// Each entry carries a live backend so pools persist across the sweep.
+inline std::vector<std::pair<std::string,
+                             std::shared_ptr<kc::exec::ExecutionBackend>>>
+backend_sweep(const BenchOptions& options) {
+  std::vector<std::pair<std::string,
+                        std::shared_ptr<kc::exec::ExecutionBackend>>>
+      sweep;
+  for (const auto kind : {kc::exec::BackendKind::Sequential,
+                          kc::exec::BackendKind::ThreadPool,
+                          kc::exec::BackendKind::OpenMP}) {
+    if (!kc::exec::backend_available(kind)) continue;
+    auto backend = kc::exec::make_backend(kind, options.threads);
+    sweep.emplace_back(std::string(backend->name()), std::move(backend));
+  }
+  return sweep;
 }
 
 inline const std::vector<std::size_t>& paper_k_sweep() {

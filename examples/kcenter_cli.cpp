@@ -4,7 +4,7 @@
 //               [--metric=l2|l1|linf] [--machines=50] [--phi=8]
 //               [--epsilon=0.1] [--drop-last-column] [--max-rows=N]
 //               [--out=centers.csv] [--assign=labels.csv] [--seed=S]
-//               [--trace]
+//               [--exec=seq|openmp|pool] [--threads=N] [--trace]
 //
 // Non-numeric columns are dropped automatically (so UCI files work
 // as-is). Prints the solution value, a certified bound on how far it
@@ -29,7 +29,7 @@ void usage(const char* prog) {
       "          [--machines=50] [--phi=8] [--epsilon=0.1] "
       "[--drop-last-column]\n"
       "          [--max-rows=N] [--out=centers.csv] [--assign=labels.csv]\n"
-      "          [--seed=S] [--trace]\n",
+      "          [--seed=S] [--exec=seq|openmp|pool] [--threads=N] [--trace]\n",
       prog);
 }
 
@@ -72,9 +72,11 @@ int main(int argc, char** argv) {
     std::printf("loaded %zu points x %zu numeric columns from %s\n",
                 data.size(), data.dim(), path.c_str());
 
-    const kc::DistanceOracle oracle(data, metric);
+    const auto backend = kc::cli::make_exec_backend(args);
+    kc::DistanceOracle oracle(data, metric);
+    oracle.bind_executor(backend.get());
     const auto all = data.all_indices();
-    const kc::mr::SimCluster cluster(machines);
+    const kc::mr::SimCluster cluster(machines, 0, backend);
 
     kc::KCenterResult result;
     std::string guarantee;
@@ -116,8 +118,10 @@ int main(int argc, char** argv) {
 
     const auto quality = kc::eval::covering_radius(oracle, all, result.centers);
     const double lb = kc::eval::gonzalez_lower_bound(oracle, all, k);
-    std::printf("\nalgorithm: %s   centers: %zu   metric: %s\n", algo.c_str(),
-                result.centers.size(), metric_name.c_str());
+    std::printf("\nalgorithm: %s   centers: %zu   metric: %s   exec: %.*s\n",
+                algo.c_str(), result.centers.size(), metric_name.c_str(),
+                static_cast<int>(backend->name().size()),
+                backend->name().data());
     std::printf("covering radius (solution value): %s\n",
                 kc::harness::format_sig(quality.radius).c_str());
     std::printf("worst-case guarantee: %s * OPT\n", guarantee.c_str());

@@ -93,6 +93,31 @@ std::vector<std::size_t> Args::size_list(const std::string& name,
   return out;
 }
 
+exec::BackendKind exec_backend(Args& args, exec::BackendKind fallback) {
+  const auto value = args.str("exec");
+  if (!value || value->empty()) return fallback;
+  const auto kind = exec::parse_backend(*value);
+  if (!kind) {
+    throw std::invalid_argument("--exec expects seq, openmp or pool, got '" +
+                                *value + "'");
+  }
+  return *kind;
+}
+
+int exec_threads(Args& args, int fallback) {
+  const auto threads =
+      args.integer("threads", static_cast<std::int64_t>(fallback));
+  if (threads < 0) {
+    throw std::invalid_argument("--threads must be non-negative");
+  }
+  return static_cast<int>(threads);
+}
+
+std::shared_ptr<exec::ExecutionBackend> make_exec_backend(
+    Args& args, exec::BackendKind fallback) {
+  return exec::make_backend(exec_backend(args, fallback), exec_threads(args));
+}
+
 std::vector<std::string> Args::unconsumed() const {
   std::vector<std::string> out;
   for (const auto& [key, used] : consumed_) {

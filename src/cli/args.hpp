@@ -7,9 +7,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "exec/backend.hpp"
 
 namespace kc::cli {
 
@@ -50,5 +53,18 @@ class Args {
   std::map<std::string, bool> consumed_;
   std::vector<std::string> positional_;
 };
+
+/// Parses --exec={seq,sequential,omp,openmp,pool,threadpool}. Throws
+/// std::invalid_argument on an unknown value.
+[[nodiscard]] exec::BackendKind exec_backend(
+    Args& args, exec::BackendKind fallback = exec::BackendKind::Sequential);
+
+/// Parses --threads=N (0 = backend default / hardware concurrency).
+[[nodiscard]] int exec_threads(Args& args, int fallback = 0);
+
+/// Consumes --exec and --threads and builds the backend they describe.
+/// Throws std::runtime_error when this build cannot provide it.
+[[nodiscard]] std::shared_ptr<exec::ExecutionBackend> make_exec_backend(
+    Args& args, exec::BackendKind fallback = exec::BackendKind::Sequential);
 
 }  // namespace kc::cli

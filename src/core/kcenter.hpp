@@ -28,8 +28,11 @@
 #include "data/surrogates.hpp"
 #include "eval/evaluate.hpp"
 #include "eval/lower_bound.hpp"
+#include "exec/backend.hpp"
+#include "exec/thread_pool.hpp"
 #include "geom/counters.hpp"
 #include "geom/distance.hpp"
+#include "geom/parallel.hpp"
 #include "geom/point_set.hpp"
 #include "mapreduce/cluster.hpp"
 #include "mapreduce/partition.hpp"

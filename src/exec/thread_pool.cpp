@@ -1,0 +1,121 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace kc::exec {
+
+namespace {
+
+// True while this thread executes pool work: set permanently on worker
+// threads and scoped around run_chunks on submitter threads. A nested
+// run_chunks from such a thread must run inline — the pool is (or may
+// be) occupied by the job this thread is part of, and waiting on it
+// from inside would deadlock.
+thread_local bool t_pool_busy = false;
+
+struct BusyScope {
+  bool previous = t_pool_busy;
+  BusyScope() noexcept { t_pool_busy = true; }
+  ~BusyScope() { t_pool_busy = previous; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  int total = threads > 0 ? threads
+                          : static_cast<int>(std::thread::hardware_concurrency());
+  total = std::max(total, 1);
+  concurrency_ = total;
+  workers_.reserve(static_cast<std::size_t>(total - 1));
+  for (int i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool ThreadPool::busy_on_this_thread() noexcept { return t_pool_busy; }
+
+void ThreadPool::run_chunks(std::size_t n, std::size_t chunks,
+                            const RangeBody& body) {
+  if (n == 0) return;
+  chunks = std::clamp<std::size_t>(chunks, 1, n);
+  if (chunks == 1 || workers_.empty() || t_pool_busy) {
+    body(0, n);
+    return;
+  }
+
+  const BusyScope busy;
+  const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->chunks = chunks;
+  job->body = body;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+  }
+  wake_.notify_all();
+
+  // The submitter is a full participant: with every worker busy
+  // elsewhere it still executes the entire job itself.
+  execute_chunks(*job);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock,
+               [&] { return job->completed.load(std::memory_order_acquire) ==
+                            job->chunks; });
+    job_.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::execute_chunks(Job& job) {
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) return;
+    try {
+      const auto [lo, hi] = chunk_bounds(job.n, job.chunks, c);
+      job.body(lo, hi);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.chunks) {
+      // Lock before notifying so the submitter cannot miss the wakeup
+      // between its predicate check and its wait.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_pool_busy = true;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ ||
+               (job_ != nullptr &&
+                job_->next.load(std::memory_order_relaxed) < job_->chunks);
+      });
+      if (stop_) return;
+      job = job_;  // shared ownership: the job outlives job_.reset()
+    }
+    execute_chunks(*job);
+  }
+}
+
+}  // namespace kc::exec

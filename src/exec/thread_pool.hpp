@@ -1,0 +1,104 @@
+// Persistent worker-thread pool for the execution backends.
+//
+// The pool is created once (per ThreadPoolBackend, typically once per
+// experiment sweep) and reused for every MapReduce round and every
+// sharded distance scan, so task fan-out never pays std::thread spawn
+// cost per round. Work is published as a single "job" at a time: a
+// range [0, n) cut into `chunks` near-equal pieces that workers (and
+// the submitting thread, which participates) claim with an atomic
+// ticket. Claiming is dynamic, so skewed chunk costs balance the way
+// `schedule(dynamic)` would.
+//
+// Reentrancy: a thread that is already executing pool work (a worker,
+// or a submitter inside run_chunks) runs nested submissions inline on
+// its own thread. This keeps the two-level scheme deadlock-free: when
+// a round's reducer tasks occupy the pool, their sharded distance
+// scans degrade to sequential; when a round has a single task (the
+// final Gonzalez round), the task runs on the submitting thread and
+// its distance scans fan out across the idle workers.
+//
+// Exceptions thrown by chunk bodies are captured; every chunk is still
+// attempted (matching OpenMP semantics, where a parallel loop cannot
+// break early) and the first captured exception is rethrown to the
+// submitter once the job completes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace kc::exec {
+
+/// Bounds [lo, hi) of chunk `c` when [0, n) is cut into `chunks`
+/// near-equal pieces (the first n % chunks pieces get one extra item).
+/// The partition is deterministic: it depends only on (n, chunks, c).
+[[nodiscard]] constexpr std::pair<std::size_t, std::size_t> chunk_bounds(
+    std::size_t n, std::size_t chunks, std::size_t c) noexcept {
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  const std::size_t lo = c * base + (c < extra ? c : extra);
+  return {lo, lo + base + (c < extra ? 1 : 0)};
+}
+
+class ThreadPool {
+ public:
+  using RangeBody = std::function<void(std::size_t, std::size_t)>;
+
+  /// A pool with total concurrency `threads` (the submitting thread
+  /// counts as one, so `threads - 1` workers are spawned). `threads <= 0`
+  /// uses std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency: spawned workers + the submitting thread.
+  [[nodiscard]] int concurrency() const noexcept { return concurrency_; }
+  [[nodiscard]] int workers() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// True when the calling thread is currently executing pool work (a
+  /// worker thread, or a thread inside run_chunks). Nested run_chunks
+  /// calls from such threads execute inline.
+  [[nodiscard]] static bool busy_on_this_thread() noexcept;
+
+  /// Cuts [0, n) into `chunks` pieces (clamped to [1, n]) and runs
+  /// `body(lo, hi)` for each, distributing pieces dynamically across
+  /// the pool. Blocks until every chunk has run; rethrows the first
+  /// exception any chunk threw. The chunk partition is deterministic;
+  /// only the thread assignment varies between runs.
+  void run_chunks(std::size_t n, std::size_t chunks, const RangeBody& body);
+
+ private:
+  struct Job {
+    std::size_t n = 0;
+    std::size_t chunks = 0;
+    RangeBody body;
+    std::atomic<std::size_t> next{0};       ///< ticket of the next unclaimed chunk
+    std::atomic<std::size_t> completed{0};  ///< chunks fully executed
+    std::exception_ptr error;               ///< first failure; guarded by mutex_
+  };
+
+  void worker_loop();
+  void execute_chunks(Job& job);
+
+  int concurrency_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;                ///< guards job_, stop_, Job::error
+  std::condition_variable wake_;    ///< workers wait here for a job
+  std::condition_variable done_;    ///< submitter waits here for completion
+  std::shared_ptr<Job> job_;        ///< the job in flight, if any
+  bool stop_ = false;
+  std::mutex submit_mutex_;         ///< serializes concurrent submitters
+};
+
+}  // namespace kc::exec

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "geom/parallel.hpp"
+
 namespace kc {
 
 std::string_view to_string(MetricKind kind) noexcept {
@@ -91,9 +93,9 @@ double DistanceOracle::from_reported(double dist) const noexcept {
   return kind_ == MetricKind::L2 ? dist * dist : dist;
 }
 
-void DistanceOracle::update_nearest(std::span<const index_t> ids, index_t center,
-                                    std::span<double> best) const noexcept {
-  counters::add_distance_evals(ids.size(), dim());
+void DistanceOracle::update_nearest_span(std::span<const index_t> ids,
+                                         index_t center,
+                                         std::span<double> best) const noexcept {
   switch (kind_) {
     case MetricKind::L2:
       update_nearest_loop(*points_, ids, center, best,
@@ -116,12 +118,49 @@ void DistanceOracle::update_nearest(std::span<const index_t> ids, index_t center
   }
 }
 
+void DistanceOracle::update_nearest(std::span<const index_t> ids,
+                                    index_t center,
+                                    std::span<double> best) const noexcept {
+  // The whole scan is charged to the calling thread up front, so a
+  // sharded execution attributes work exactly as a sequential one.
+  counters::add_distance_evals(ids.size(), dim());
+  if (exec_ != nullptr && ids.size() >= shard_min_) {
+    sharded_for(exec_, ids.size(), shard_min_,
+                [&](std::size_t lo, std::size_t hi) {
+                  update_nearest_span(ids.subspan(lo, hi - lo), center,
+                                      best.subspan(lo, hi - lo));
+                });
+    return;
+  }
+  update_nearest_span(ids, center, best);
+}
+
 void DistanceOracle::update_nearest_multi(std::span<const index_t> ids,
                                           std::span<const index_t> centers,
                                           std::span<double> best) const noexcept {
   // Center-major order: each pass streams the ids contiguously while the
   // center stays in registers. For the batch sizes EIM produces
   // (thousands of new samples) this is memory-bandwidth optimal.
+  // Shard on *total* work (ids x centers pairs): tall-thin batches —
+  // few ids against many new centers, EIM's select round shape — carry
+  // as many evals as a wide single-center scan. The grain shrinks with
+  // the center count so each chunk still does ~shard_min_/2 pair evals.
+  if (exec_ != nullptr && !centers.empty() && ids.size() > 1 &&
+      ids.size() * centers.size() >= shard_min_) {
+    // One fan-out for the whole batch; each chunk keeps the
+    // center-major order over its slice. Same min-fold, same result.
+    counters::add_distance_evals(ids.size() * centers.size(), dim());
+    const std::size_t grain =
+        std::max<std::size_t>(1, shard_min_ / 2 / centers.size());
+    exec_->parallel_for(ids.size(), grain,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (const index_t c : centers) {
+                            update_nearest_span(ids.subspan(lo, hi - lo), c,
+                                                best.subspan(lo, hi - lo));
+                          }
+                        });
+    return;
+  }
   for (const index_t c : centers) update_nearest(ids, c, best);
 }
 

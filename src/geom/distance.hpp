@@ -21,7 +21,16 @@
 #include "geom/counters.hpp"
 #include "geom/point_set.hpp"
 
+namespace kc::exec {
+class ExecutionBackend;
+}  // namespace kc::exec
+
 namespace kc {
+
+/// Default minimum scan length before a bulk kernel shards across an
+/// execution backend; below this the fan-out overhead dominates the
+/// O(n * dim) work of the scan itself.
+inline constexpr std::size_t kShardMinItems = std::size_t{1} << 14;
 
 enum class MetricKind {
   L2,    ///< Euclidean; comparable value = squared distance
@@ -37,6 +46,13 @@ inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
 /// A view over a PointSet with a chosen metric. Cheap to copy; does not
 /// own the points. Thread-safe: methods only read the point set and
 /// bump thread-local work counters.
+///
+/// Optionally binds an execution backend (bind_executor) so the bulk
+/// kernels — update_nearest / update_nearest_multi — shard large scans
+/// across host cores. Sharding never changes results or counter
+/// attribution: chunks are deterministic, the per-element min-fold is
+/// order-independent, and the full eval count is charged to the
+/// calling thread before fan-out.
 class DistanceOracle {
  public:
   explicit DistanceOracle(const PointSet& points,
@@ -46,6 +62,18 @@ class DistanceOracle {
   [[nodiscard]] const PointSet& points() const noexcept { return *points_; }
   [[nodiscard]] MetricKind kind() const noexcept { return kind_; }
   [[nodiscard]] std::size_t dim() const noexcept { return points_->dim(); }
+
+  /// Binds (or, with nullptr, unbinds) the backend used to shard bulk
+  /// scans of at least `min_items` elements. The oracle does not own
+  /// the backend; the caller keeps it alive.
+  void bind_executor(exec::ExecutionBackend* backend,
+                     std::size_t min_items = kShardMinItems) noexcept {
+    exec_ = backend;
+    shard_min_ = min_items > 0 ? min_items : kShardMinItems;
+  }
+  [[nodiscard]] exec::ExecutionBackend* executor() const noexcept {
+    return exec_;
+  }
 
   /// Comparable distance between points a and b.
   [[nodiscard]] double comparable(index_t a, index_t b) const noexcept;
@@ -92,8 +120,15 @@ class DistanceOracle {
       std::span<const index_t> ids) const;
 
  private:
+  /// update_nearest without counter updates: the unit the sharded
+  /// kernels run per chunk (the caller has already charged the scan).
+  void update_nearest_span(std::span<const index_t> ids, index_t center,
+                           std::span<double> best) const noexcept;
+
   const PointSet* points_;
   MetricKind kind_;
+  exec::ExecutionBackend* exec_ = nullptr;  ///< not owned; may be null
+  std::size_t shard_min_ = kShardMinItems;
 };
 
 /// Position of the maximum element (first on ties); spans must be

@@ -1,0 +1,44 @@
+// Two-level parallelism glue for the distance kernels.
+//
+// Level one (across simulated machines) is the SimCluster's job; this
+// header serves level two: splitting a *single* reducer's distance
+// scan across host cores. The contract that keeps simulated metrics
+// bit-identical across backends:
+//
+//   - the chunk partition is deterministic (exec::chunk_bounds);
+//   - chunks write disjoint slices of the output, and the per-element
+//     fold is min(), which is order-independent, so the result equals
+//     the sequential scan bit for bit;
+//   - distance-eval counting is NOT done inside the chunks: callers
+//     charge the whole scan to their own thread-local counters before
+//     fanning out, so per-machine work attribution is exactly what the
+//     sequential backend records.
+//
+// When the pool is already occupied (a sharded call from inside one of
+// many concurrent reducer tasks) the backend runs the body inline, so
+// the two levels compose without deadlock or oversubscription.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "exec/backend.hpp"
+
+namespace kc {
+
+/// Runs body(lo, hi) over [0, n): inline when `backend` is null or the
+/// range is smaller than `min_items` (sharding overhead would dominate),
+/// otherwise via backend->parallel_for with chunks of at least
+/// min_items / 2 so a range just over the threshold still splits.
+inline void sharded_for(exec::ExecutionBackend* backend, std::size_t n,
+                        std::size_t min_items,
+                        const exec::ExecutionBackend::RangeBody& body) {
+  if (n == 0) return;
+  if (backend == nullptr || n < min_items) {
+    body(0, n);
+    return;
+  }
+  backend->parallel_for(n, std::max<std::size_t>(1, min_items / 2), body);
+}
+
+}  // namespace kc

@@ -28,10 +28,16 @@ std::string_view to_string(AlgoKind kind) noexcept {
 
 RunResult run_algorithm(const AlgoConfig& config, const PointSet& points,
                         std::size_t k, std::uint64_t seed, MetricKind metric) {
-  const DistanceOracle oracle(points, metric);
+  // One backend serves both levels: the cluster's reducer fan-out and
+  // the oracle's sharded distance scans.
+  const std::shared_ptr<exec::ExecutionBackend> backend =
+      config.resolve_backend();
+  DistanceOracle oracle(points, metric);
+  oracle.bind_executor(backend.get());
   const std::vector<index_t> all = points.all_indices();
 
   RunResult result;
+  result.backend = std::string(backend->name());
   const WorkScope work;
 
   switch (config.kind) {
@@ -48,7 +54,7 @@ RunResult run_algorithm(const AlgoConfig& config, const PointSet& points,
     }
     case AlgoKind::MRG: {
       const mr::SimCluster cluster(config.machines, /*capacity_items=*/0,
-                                   config.exec);
+                                   backend);
       MrgOptions options = config.mrg;
       options.seed = seed;
       const auto start = Clock::now();
@@ -56,12 +62,13 @@ RunResult run_algorithm(const AlgoConfig& config, const PointSet& points,
       result.wall_seconds = seconds_since(start);
       result.sim_seconds = r.trace.simulated_seconds();
       result.map_reduce_rounds = r.trace.num_rounds();
+      result.dist_evals = r.trace.total_dist_evals();
       result.centers = std::move(r.centers);
       break;
     }
     case AlgoKind::EIM: {
       const mr::SimCluster cluster(config.machines, /*capacity_items=*/0,
-                                   config.exec);
+                                   backend);
       EimOptions options = config.eim;
       options.seed = seed;
       const auto start = Clock::now();
@@ -72,12 +79,19 @@ RunResult run_algorithm(const AlgoConfig& config, const PointSet& points,
       result.eim_iterations = r.iterations;
       result.eim_sampled = r.sampled;
       result.final_sample_size = r.final_sample_size;
+      result.dist_evals = r.trace.total_dist_evals();
       result.centers = std::move(r.centers);
       break;
     }
   }
 
-  result.dist_evals = work.elapsed().distance_evals;
+  // MRG/EIM take their eval counts from the trace above: round work is
+  // attributed per machine task, which is backend-invariant. The
+  // sequential baseline ran entirely on this thread, so the WorkScope
+  // covers it.
+  if (config.kind == AlgoKind::GON) {
+    result.dist_evals = work.elapsed().distance_evals;
+  }
   // Solution value (the paper's quality metric), computed offline and
   // not charged to the algorithm.
   result.value = eval::covering_radius(oracle, all, result.centers).radius;
@@ -135,6 +149,10 @@ Aggregate run_repeated(const AlgoConfig& config, const DatasetPool& pool,
   if (runs_per_graph <= 0) {
     throw std::invalid_argument("run_repeated: runs_per_graph must be positive");
   }
+  // Resolve the backend once so a thread pool persists across every
+  // run of the sweep instead of being respawned per run.
+  AlgoConfig resolved = config;
+  resolved.backend = config.resolve_backend();
   std::vector<RunResult> results;
   results.reserve(static_cast<std::size_t>(pool.num_graphs() * runs_per_graph));
   Rng root(seed);
@@ -143,7 +161,7 @@ Aggregate run_repeated(const AlgoConfig& config, const DatasetPool& pool,
       const std::uint64_t run_seed =
           root.split(static_cast<std::uint64_t>(g * 1000 + r))();
       results.push_back(
-          run_algorithm(config, pool.graph(g), k, run_seed, metric));
+          run_algorithm(resolved, pool.graph(g), k, run_seed, metric));
     }
   }
   return Aggregate::of(results);

@@ -17,6 +17,7 @@
 #include "core/eim.hpp"
 #include "core/mrg.hpp"
 #include "eval/evaluate.hpp"
+#include "exec/backend.hpp"
 #include "geom/distance.hpp"
 #include "mapreduce/cluster.hpp"
 #include "rng/rng.hpp"
@@ -33,7 +34,14 @@ struct AlgoConfig {
   std::string label;  ///< defaults to to_string(kind) if empty
 
   int machines = 50;  ///< paper fixes m = 50 (§7.2)
-  mr::ExecMode exec = mr::ExecMode::Sequential;
+
+  /// Execution backend for the simulated cluster and the sharded
+  /// distance kernels. `backend`, when set, is used directly (so one
+  /// persistent thread pool serves a whole sweep); otherwise
+  /// resolve_backend() constructs one from `exec` + `threads`.
+  exec::BackendKind exec = exec::BackendKind::Sequential;
+  int threads = 0;  ///< 0 = backend default (hardware concurrency)
+  std::shared_ptr<exec::ExecutionBackend> backend;
 
   MrgOptions mrg;  ///< used when kind == MRG
   EimOptions eim;  ///< used when kind == EIM
@@ -41,10 +49,17 @@ struct AlgoConfig {
   [[nodiscard]] std::string display_label() const {
     return label.empty() ? std::string(to_string(kind)) : label;
   }
+
+  /// The backend this config runs on; throws if the build lacks it.
+  [[nodiscard]] std::shared_ptr<exec::ExecutionBackend> resolve_backend()
+      const {
+    return backend != nullptr ? backend : exec::make_backend(exec, threads);
+  }
 };
 
 /// Outcome of a single algorithm execution on a single data set.
 struct RunResult {
+  std::string backend;       ///< effective execution backend name
   double value = 0.0;        ///< covering radius over all points (reported)
   double sim_seconds = 0.0;  ///< simulated parallel time (GON: == wall)
   double wall_seconds = 0.0;

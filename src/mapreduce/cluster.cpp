@@ -4,10 +4,6 @@
 #include <stdexcept>
 #include <string>
 
-#ifdef KC_HAVE_OPENMP
-#include <omp.h>
-#endif
-
 namespace kc::mr {
 
 namespace {
@@ -20,24 +16,22 @@ using Clock = std::chrono::steady_clock;
 
 }  // namespace
 
-std::string_view to_string(ExecMode mode) noexcept {
-  switch (mode) {
-    case ExecMode::Sequential: return "sequential";
-    case ExecMode::OpenMP: return "openmp";
-  }
-  return "?";
-}
+SimCluster::SimCluster(int machines, std::size_t capacity_items,
+                       exec::BackendKind backend, int threads)
+    : SimCluster(machines, capacity_items,
+                 exec::make_backend(backend, threads)) {}
 
-SimCluster::SimCluster(int machines, std::size_t capacity_items, ExecMode mode)
-    : machines_(machines), capacity_(capacity_items), mode_(mode) {
+SimCluster::SimCluster(int machines, std::size_t capacity_items,
+                       std::shared_ptr<exec::ExecutionBackend> backend)
+    : machines_(machines),
+      capacity_(capacity_items),
+      backend_(std::move(backend)) {
   if (machines <= 0) {
     throw std::invalid_argument("SimCluster: machines must be positive");
   }
-#ifndef KC_HAVE_OPENMP
-  // Silently degrade: the semantics are identical, only host-level
-  // concurrency differs.
-  mode_ = ExecMode::Sequential;
-#endif
+  if (backend_ == nullptr) {
+    throw std::invalid_argument("SimCluster: backend must be non-null");
+  }
 }
 
 void SimCluster::check_capacity(std::size_t items_on_one_machine,
@@ -55,32 +49,28 @@ RoundStats& SimCluster::run_round(std::string_view name, std::span<Task> tasks,
                                   JobTrace& trace) const {
   RoundStats stats;
   stats.name = std::string(name);
+  stats.backend = std::string(backend_->name());
   stats.machines_used = static_cast<int>(tasks.size());
 
   const auto round_start = Clock::now();
   std::vector<double> task_seconds(tasks.size(), 0.0);
   std::vector<std::uint64_t> task_evals(tasks.size(), 0);
 
-  if (mode_ == ExecMode::OpenMP) {
-#ifdef KC_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic, 1)
-    for (std::size_t t = 0; t < tasks.size(); ++t) {
+  // Each wrapper runs entirely on whichever thread the backend picks,
+  // so the WorkScope reads that thread's counters around exactly this
+  // task — per-machine attribution is backend-independent.
+  std::vector<exec::ExecutionBackend::Task> wrapped;
+  wrapped.reserve(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    wrapped.emplace_back([&tasks, &task_seconds, &task_evals, t] {
       const WorkScope work;
       const auto start = Clock::now();
       tasks[t]();
       task_seconds[t] = seconds_since(start);
       task_evals[t] = work.elapsed().distance_evals;
-    }
-#endif
-  } else {
-    for (std::size_t t = 0; t < tasks.size(); ++t) {
-      const WorkScope work;
-      const auto start = Clock::now();
-      tasks[t]();
-      task_seconds[t] = seconds_since(start);
-      task_evals[t] = work.elapsed().distance_evals;
-    }
+    });
   }
+  backend_->run_tasks(wrapped);
 
   stats.wall_seconds = seconds_since(round_start);
   for (std::size_t t = 0; t < tasks.size(); ++t) {

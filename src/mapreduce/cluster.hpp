@@ -1,30 +1,27 @@
 // Simulated MapReduce cluster.
 //
-// Executes the reducer tasks of one round either sequentially (the
-// paper's methodology: run each simulated machine in turn and charge
-// the round the *maximum* per-machine time) or with OpenMP across host
-// cores. Either way, each task is timed individually and its
-// distance-evaluation work is attributed via the thread-local counters,
-// so the simulated-time metric is identical across execution modes.
+// Executes the reducer tasks of one round through a pluggable
+// execution backend (src/exec): sequentially (the paper's methodology:
+// run each simulated machine in turn and charge the round the
+// *maximum* per-machine time), on OpenMP host threads, or on a
+// persistent thread pool. Either way, each task is timed individually
+// and its distance-evaluation work is attributed via the thread-local
+// counters, so the simulated-time metric — and every simulated count —
+// is identical across execution backends.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
 
+#include "exec/backend.hpp"
 #include "geom/counters.hpp"
 #include "mapreduce/round_stats.hpp"
 #include "mapreduce/trace.hpp"
 
 namespace kc::mr {
-
-enum class ExecMode {
-  Sequential,  ///< one task at a time; faithful to §7.1
-  OpenMP,      ///< tasks spread across host threads (if built with OpenMP)
-};
-
-[[nodiscard]] std::string_view to_string(ExecMode mode) noexcept;
 
 class SimCluster {
  public:
@@ -32,12 +29,28 @@ class SimCluster {
   /// `capacity_items` (measured in points; 0 = unlimited). Capacity is
   /// advisory: algorithms consult it to decide their round structure
   /// and call check_capacity() to assert they respected it.
+  ///
+  /// This convenience overload constructs a fresh backend of the given
+  /// kind (`threads` as in exec::make_backend). Throws
+  /// std::runtime_error if this build cannot provide the backend —
+  /// an unavailable backend is never silently substituted.
   explicit SimCluster(int machines, std::size_t capacity_items = 0,
-                      ExecMode mode = ExecMode::Sequential);
+                      exec::BackendKind backend = exec::BackendKind::Sequential,
+                      int threads = 0);
+
+  /// Shares an existing backend (so one persistent thread pool serves
+  /// many clusters/runs). `backend` must be non-null.
+  SimCluster(int machines, std::size_t capacity_items,
+             std::shared_ptr<exec::ExecutionBackend> backend);
 
   [[nodiscard]] int machines() const noexcept { return machines_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
+
+  /// The effective execution backend (what actually runs the rounds;
+  /// its name() is recorded into every RoundStats this cluster emits).
+  [[nodiscard]] const exec::ExecutionBackend& backend() const noexcept {
+    return *backend_;
+  }
 
   /// Throws std::length_error if a reducer would receive more than the
   /// configured capacity (no-op when capacity is unlimited).
@@ -60,7 +73,7 @@ class SimCluster {
  private:
   int machines_;
   std::size_t capacity_;
-  ExecMode mode_;
+  std::shared_ptr<exec::ExecutionBackend> backend_;
 };
 
 }  // namespace kc::mr

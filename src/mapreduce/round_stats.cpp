@@ -8,12 +8,13 @@ std::string RoundStats::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "round %2d %-24s machines=%3d max=%.6fs total=%.6fs "
-                "in=%llu out=%llu dist=%llu",
+                "in=%llu out=%llu dist=%llu exec=%s",
                 round_index, name.c_str(), machines_used, max_machine_seconds,
                 total_machine_seconds,
                 static_cast<unsigned long long>(items_in),
                 static_cast<unsigned long long>(items_out),
-                static_cast<unsigned long long>(total_dist_evals));
+                static_cast<unsigned long long>(total_dist_evals),
+                backend.empty() ? "?" : backend.c_str());
   return buf;
 }
 

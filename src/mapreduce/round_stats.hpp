@@ -15,6 +15,7 @@ namespace kc::mr {
 
 struct RoundStats {
   std::string name;            ///< human-readable round label
+  std::string backend;         ///< effective execution backend for the round
   int round_index = 0;         ///< 0-based position within the job
   int machines_used = 0;       ///< reducers that ran this round
 

@@ -1,0 +1,215 @@
+// Tests for the execution-backend subsystem: the persistent thread
+// pool (task completion, exception propagation, reuse across rounds,
+// reentrancy) and the backend interface (parsing, availability, the
+// deterministic chunk partition, run_tasks/parallel_for semantics).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/backend.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace kc::exec {
+namespace {
+
+// ---------------------------------------------------------- chunk_bounds
+
+TEST(ChunkBounds, PartitionsExactlyAndEvenly) {
+  for (const std::size_t n : {1u, 7u, 64u, 1000u}) {
+    for (const std::size_t chunks : {1u, 2u, 3u, 7u}) {
+      if (chunks > n) continue;
+      std::size_t covered = 0;
+      std::size_t previous_hi = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const auto [lo, hi] = chunk_bounds(n, chunks, c);
+        EXPECT_EQ(lo, previous_hi);  // contiguous, in order
+        EXPECT_GE(hi, lo);
+        EXPECT_LE(hi - lo, n / chunks + 1);  // near-equal
+        covered += hi - lo;
+        previous_hi = hi;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(previous_hi, n);
+    }
+  }
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4);
+  EXPECT_EQ(pool.workers(), 3);
+
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run_chunks(hits.size(), 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusedAcrossManyRounds) {
+  // The whole point of the pool: hundreds of rounds, zero respawns.
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.run_chunks(64, 8, [&](std::size_t lo, std::size_t hi) {
+      sum.fetch_add(static_cast<std::int64_t>(hi - lo));
+    });
+  }
+  EXPECT_EQ(sum.load(), 200 * 64);
+}
+
+TEST(ThreadPool, UsesMultipleThreadsWhenAvailable) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  // Many more chunks than threads, each slow enough that workers get a
+  // chance to claim some; the exact spread is scheduling-dependent, so
+  // assert only that no *more* than `concurrency` threads participate.
+  pool.run_chunks(64, 64, [&](std::size_t, std::size_t) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_LE(seen.size(), 4u);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.run_chunks(32, 32,
+                      [&](std::size_t lo, std::size_t) {
+                        executed.fetch_add(1);
+                        if (lo == 7) throw std::runtime_error("chunk 7");
+                      }),
+      std::runtime_error);
+  // Every chunk is still attempted (OpenMP-matching semantics).
+  EXPECT_EQ(executed.load(), 32);
+  // And the pool remains usable afterwards.
+  std::atomic<int> after{0};
+  pool.run_chunks(8, 8, [&](std::size_t, std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, NestedSubmissionRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.run_chunks(8, 8, [&](std::size_t, std::size_t) {
+    EXPECT_TRUE(ThreadPool::busy_on_this_thread());
+    // A nested submission from inside pool work must not deadlock.
+    pool.run_chunks(4, 4, [&](std::size_t lo, std::size_t hi) {
+      inner_total.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 4);
+  EXPECT_FALSE(ThreadPool::busy_on_this_thread());
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 0);
+  int calls = 0;
+  pool.run_chunks(100, 10, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+// -------------------------------------------------------- backend basics
+
+TEST(Backend, ParseAndToStringRoundTrip) {
+  EXPECT_EQ(parse_backend("seq"), BackendKind::Sequential);
+  EXPECT_EQ(parse_backend("sequential"), BackendKind::Sequential);
+  EXPECT_EQ(parse_backend("omp"), BackendKind::OpenMP);
+  EXPECT_EQ(parse_backend("openmp"), BackendKind::OpenMP);
+  EXPECT_EQ(parse_backend("pool"), BackendKind::ThreadPool);
+  EXPECT_EQ(parse_backend("threadpool"), BackendKind::ThreadPool);
+  EXPECT_EQ(parse_backend("gpu"), std::nullopt);
+  for (const auto kind : {BackendKind::Sequential, BackendKind::OpenMP,
+                          BackendKind::ThreadPool}) {
+    EXPECT_EQ(parse_backend(to_string(kind)), kind);
+  }
+}
+
+TEST(Backend, FactoryHonorsAvailability) {
+  EXPECT_EQ(make_backend(BackendKind::Sequential)->name(), "sequential");
+  EXPECT_EQ(make_backend(BackendKind::ThreadPool, 2)->name(), "threadpool");
+  EXPECT_TRUE(backend_available(BackendKind::Sequential));
+  EXPECT_TRUE(backend_available(BackendKind::ThreadPool));
+  if (backend_available(BackendKind::OpenMP)) {
+    EXPECT_EQ(make_backend(BackendKind::OpenMP)->name(), "openmp");
+  } else {
+    // No silent degrade: requesting the missing backend throws.
+    EXPECT_THROW((void)make_backend(BackendKind::OpenMP), std::runtime_error);
+  }
+}
+
+TEST(Backend, SequentialRunsTasksInOrder) {
+  SequentialBackend backend;
+  EXPECT_EQ(backend.concurrency(), 1);
+  std::vector<int> order;
+  std::vector<ExecutionBackend::Task> tasks;
+  for (int t = 0; t < 5; ++t) {
+    tasks.emplace_back([&order, t] { order.push_back(t); });
+  }
+  backend.run_tasks(tasks);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+class BackendParam
+    : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(BackendParam, RunsAllTasksAndPropagatesException) {
+  if (!backend_available(GetParam())) GTEST_SKIP() << "backend unavailable";
+  const auto backend = make_backend(GetParam(), 4);
+
+  std::vector<std::atomic<int>> hits(16);
+  std::vector<ExecutionBackend::Task> tasks;
+  for (std::size_t t = 0; t < hits.size(); ++t) {
+    tasks.emplace_back([&hits, t] { hits[t].fetch_add(1); });
+  }
+  backend->run_tasks(tasks);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  std::vector<ExecutionBackend::Task> failing;
+  std::atomic<int> attempted{0};
+  for (int t = 0; t < 8; ++t) {
+    failing.emplace_back([&attempted, t] {
+      attempted.fetch_add(1);
+      if (t == 3) throw std::invalid_argument("task 3");
+    });
+  }
+  EXPECT_THROW(backend->run_tasks(failing), std::invalid_argument);
+  EXPECT_EQ(attempted.load(), 8);
+}
+
+TEST_P(BackendParam, ParallelForCoversRangeDisjointly) {
+  if (!backend_available(GetParam())) GTEST_SKIP() << "backend unavailable";
+  const auto backend = make_backend(GetParam(), 4);
+  std::vector<std::atomic<int>> hits(10'000);
+  backend->parallel_for(hits.size(), 128, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendParam,
+                         ::testing::Values(BackendKind::Sequential,
+                                           BackendKind::OpenMP,
+                                           BackendKind::ThreadPool),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace kc::exec

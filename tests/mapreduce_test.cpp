@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 
 #include "geom/distance.hpp"
@@ -232,25 +233,42 @@ TEST(SimCluster, UnlimitedCapacityNeverThrows) {
   EXPECT_NO_THROW(cluster.check_capacity(1u << 30, "huge"));
 }
 
-TEST(SimCluster, SequentialAndOpenMPProduceSameResults) {
-  // Results must be mode-independent: each task writes its own slot.
-  std::vector<std::uint64_t> seq(8, 0);
-  std::vector<std::uint64_t> omp(8, 0);
+TEST(SimCluster, BackendsProduceSameResults) {
+  // Results must be backend-independent: each task writes its own slot.
   const auto body = [](int machine, std::vector<std::uint64_t>& out) {
     Rng rng(static_cast<std::uint64_t>(machine) + 1);
     out[machine] = rng();
   };
-  {
-    const SimCluster cluster(8, 0, ExecMode::Sequential);
+  const auto run_with = [&](exec::BackendKind kind) {
+    std::vector<std::uint64_t> out(8, 0);
+    const SimCluster cluster(8, 0, kind, /*threads=*/4);
     JobTrace trace;
-    cluster.run_indexed_round("a", 8, [&](int m) { body(m, seq); }, trace);
+    cluster.run_indexed_round("r", 8, [&](int m) { body(m, out); }, trace);
+    return out;
+  };
+  const auto seq = run_with(exec::BackendKind::Sequential);
+  EXPECT_EQ(seq, run_with(exec::BackendKind::ThreadPool));
+  if (exec::backend_available(exec::BackendKind::OpenMP)) {
+    EXPECT_EQ(seq, run_with(exec::BackendKind::OpenMP));
   }
-  {
-    const SimCluster cluster(8, 0, ExecMode::OpenMP);
-    JobTrace trace;
-    cluster.run_indexed_round("b", 8, [&](int m) { body(m, omp); }, trace);
+}
+
+TEST(SimCluster, RecordsEffectiveBackendInRoundStats) {
+  const SimCluster cluster(2, 0, exec::BackendKind::ThreadPool, 2);
+  EXPECT_EQ(cluster.backend().name(), "threadpool");
+  JobTrace trace;
+  cluster.run_indexed_round("r", 2, [](int) {}, trace);
+  EXPECT_EQ(trace.rounds()[0].backend, "threadpool");
+  EXPECT_NE(trace.rounds()[0].summary().find("exec=threadpool"),
+            std::string::npos);
+}
+
+TEST(SimCluster, UnavailableBackendThrowsInsteadOfDegrading) {
+  if (exec::backend_available(exec::BackendKind::OpenMP)) {
+    GTEST_SKIP() << "OpenMP is available in this build";
   }
-  EXPECT_EQ(seq, omp);
+  EXPECT_THROW(SimCluster(2, 0, exec::BackendKind::OpenMP),
+               std::runtime_error);
 }
 
 // ---------------------------------------------------------------- trace
