@@ -1,12 +1,39 @@
-// Microbenchmarks (google-benchmark) for the hot kernels underneath
-// every experiment: pair distance evaluation across dimensions and
-// metrics, the update_nearest sweep (the inner loop of GON and of
-// EIM's Round 3), full GON runs, and partitioning overhead.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the hot kernels underneath every experiment.
+//
+// Two halves:
+//
+//   1. A self-timed kernel matrix (no external deps): scalar vs AVX2 vs
+//      AVX-512 across {contiguous, gather} x {single-center,
+//      center-blocked} x shapes, reported as ns/pair and written to a
+//      machine-readable BENCH_kernels.json so the perf trajectory is
+//      tracked across PRs. This is what CI runs.
+//   2. The original google-benchmark suite (pair distance, GON,
+//      partitioning, covering radius), kept behind --gbench and only
+//      compiled when google-benchmark is available.
+//
+// Flags:
+//   --print-isa     print compiled/supported/active kernel levels, exit
+//   --json=PATH     where to write the JSON report (default
+//                   BENCH_kernels.json; empty string disables)
+//   --n=N           points per scan (default 65536)
+//   --reps=R        timed repetitions per cell, best-of (default 5)
+//   --gbench [...]  run the google-benchmark suite with remaining args
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "core/kcenter.hpp"
+#include "geom/kernels.hpp"
 
 namespace {
+
+using kc::simd::IsaLevel;
+using kc::simd::KernelTable;
 
 kc::PointSet make_points(std::size_t n, std::size_t dim, std::uint64_t seed) {
   kc::Rng rng(seed);
@@ -16,6 +43,258 @@ kc::PointSet make_points(std::size_t n, std::size_t dim, std::uint64_t seed) {
   }
   return ps;
 }
+
+struct Cell {
+  std::string isa;
+  std::string kernel;  // "update_nearest" or "update_nearest_multi"
+  std::string layout;  // "contig" or "gather"
+  std::string metric;
+  std::size_t dim;
+  std::size_t centers;
+  double ns_per_pair;
+};
+
+/// Times `body` (which performs `pairs` pair evaluations) best-of-reps.
+template <typename Body>
+double time_ns_per_pair(std::size_t pairs, int reps, Body&& body) {
+  using clock = std::chrono::steady_clock;
+  body();  // warm-up: page in buffers, settle the frequency governor
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    body();
+    const auto t1 = clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(pairs);
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+struct MatrixConfig {
+  std::size_t n = std::size_t{1} << 16;
+  int reps = 5;
+  int inner = 8;  ///< kernel calls per timed region (amortizes clock reads)
+};
+
+/// One update_nearest shape for one table; rotates the center each call
+/// so best[] keeps seeing occasional improvements (the steady state of
+/// a GON sweep) rather than a fully-converged array.
+Cell run_nearest_cell(const KernelTable& table, kc::MetricKind metric,
+                      std::size_t dim, bool contig, const MatrixConfig& cfg) {
+  const kc::PointSet ps = make_points(cfg.n, dim, /*seed=*/dim * 7 + 1);
+  const auto m = static_cast<std::size_t>(metric);
+  std::vector<kc::index_t> ids(cfg.n);
+  kc::Rng rng(99);
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    // Gather layout: a shuffled-ish id stream (random ids, duplicates
+    // allowed) — the pattern EIM's pruned R sets produce.
+    ids[i] = contig ? static_cast<kc::index_t>(i)
+                    : static_cast<kc::index_t>(rng.uniform_int(cfg.n));
+  }
+  std::vector<double> best(cfg.n, kc::kInfDist);
+  // Rotate the center so best[] keeps seeing occasional improvements,
+  // clamped to the point count for small --n runs.
+  const std::size_t rot = std::min<std::size_t>(cfg.n, 64);
+  std::size_t center = 0;
+  const auto body = [&] {
+    for (int it = 0; it < cfg.inner; ++it) {
+      const double* c = ps.data(static_cast<kc::index_t>(center));
+      center = (center + 1) % rot;
+      if (contig) {
+        table.nearest_contig[m](ps.raw().data(), dim, cfg.n, c, best.data());
+      } else {
+        table.nearest_gather[m](ps.raw().data(), dim, ids.data(), cfg.n, c,
+                                best.data());
+      }
+    }
+  };
+  const double ns = time_ns_per_pair(
+      cfg.n * static_cast<std::size_t>(cfg.inner), cfg.reps, body);
+  return {table.name,  "update_nearest", contig ? "contig" : "gather",
+          std::string(kc::to_string(metric)), dim, 1, ns};
+}
+
+/// Center-blocked multi shape: `centers` centers folded per pass (the
+/// EIM select-round batch shape). With ncenters=1 this degenerates to
+/// update_nearest, so comparing cells quantifies the blocking win.
+Cell run_multi_cell(const KernelTable& table, kc::MetricKind metric,
+                    std::size_t dim, std::size_t ncenters, bool contig,
+                    const MatrixConfig& cfg) {
+  const kc::PointSet ps = make_points(cfg.n, dim, /*seed=*/dim * 11 + 3);
+  const auto m = static_cast<std::size_t>(metric);
+  std::vector<kc::index_t> ids(cfg.n);
+  kc::Rng rng(17);
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    ids[i] = contig ? static_cast<kc::index_t>(i)
+                    : static_cast<kc::index_t>(rng.uniform_int(cfg.n));
+  }
+  std::vector<double> best(cfg.n, kc::kInfDist);
+  const std::size_t rot = std::min<std::size_t>(cfg.n, 128);
+  std::size_t base = 0;
+  const auto body = [&] {
+    for (int it = 0; it < cfg.inner; ++it) {
+      const double* cptr[kc::simd::kCenterBlock];
+      for (std::size_t j = 0; j < ncenters; ++j) {
+        cptr[j] = ps.data(static_cast<kc::index_t>((base + j) % rot));
+      }
+      base = (base + ncenters) % rot;
+      if (contig) {
+        table.nearest_multi_contig[m](ps.raw().data(), dim, cfg.n, cptr,
+                                      ncenters, best.data());
+      } else {
+        table.nearest_multi_gather[m](ps.raw().data(), dim, ids.data(), cfg.n,
+                                      cptr, ncenters, best.data());
+      }
+    }
+  };
+  const double ns = time_ns_per_pair(
+      cfg.n * ncenters * static_cast<std::size_t>(cfg.inner), cfg.reps, body);
+  return {table.name, "update_nearest_multi", contig ? "contig" : "gather",
+          std::string(kc::to_string(metric)), dim, ncenters, ns};
+}
+
+std::vector<Cell> run_matrix(const MatrixConfig& cfg) {
+  std::vector<const KernelTable*> tables;
+  for (const IsaLevel level :
+       {IsaLevel::Scalar, IsaLevel::Avx2, IsaLevel::Avx512}) {
+    if (kc::simd::isa_compiled(level) && kc::simd::isa_supported(level)) {
+      tables.push_back(kc::simd::kernels_for(level));
+    }
+  }
+
+  std::vector<Cell> cells;
+  for (const KernelTable* table : tables) {
+    // scalar-vs-SIMD and gather-vs-contiguous, across the paper's
+    // shapes (dim 2/3 synthetic, dim 8 stands in for the generic loop).
+    for (const std::size_t dim : {std::size_t{2}, std::size_t{3},
+                                  std::size_t{8}}) {
+      cells.push_back(
+          run_nearest_cell(*table, kc::MetricKind::L2, dim, true, cfg));
+      cells.push_back(
+          run_nearest_cell(*table, kc::MetricKind::L2, dim, false, cfg));
+    }
+    cells.push_back(
+        run_nearest_cell(*table, kc::MetricKind::L1, 2, true, cfg));
+    cells.push_back(
+        run_nearest_cell(*table, kc::MetricKind::Linf, 2, true, cfg));
+    // blocked-vs-passes: 1 center (passes baseline) vs a full block.
+    for (const bool contig : {true, false}) {
+      cells.push_back(run_multi_cell(*table, kc::MetricKind::L2, 2, 1, contig,
+                                     cfg));
+      cells.push_back(run_multi_cell(*table, kc::MetricKind::L2, 2,
+                                     kc::simd::kCenterBlock, contig, cfg));
+    }
+  }
+  return cells;
+}
+
+void print_table(const std::vector<Cell>& cells) {
+  std::printf("%-8s %-22s %-7s %-5s %4s %8s %12s\n", "isa", "kernel", "layout",
+              "metric", "dim", "centers", "ns/pair");
+  for (const auto& c : cells) {
+    std::printf("%-8s %-22s %-7s %-5s %4zu %8zu %12.3f\n", c.isa.c_str(),
+                c.kernel.c_str(), c.layout.c_str(), c.metric.c_str(), c.dim,
+                c.centers, c.ns_per_pair);
+  }
+}
+
+void write_json(const std::vector<Cell>& cells, const MatrixConfig& cfg,
+                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"kernels\",\n"
+      << "  \"active_isa\": \"" << kc::simd::active_kernels().name << "\",\n"
+      << "  \"n\": " << cfg.n << ",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    out << "    {\"isa\": \"" << c.isa << "\", \"kernel\": \"" << c.kernel
+        << "\", \"layout\": \"" << c.layout << "\", \"metric\": \"" << c.metric
+        << "\", \"dim\": " << c.dim << ", \"centers\": " << c.centers
+        << ", \"ns_per_pair\": " << c.ns_per_pair << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void print_isa() {
+  const auto levels = {IsaLevel::Scalar, IsaLevel::Avx2, IsaLevel::Avx512};
+  for (const IsaLevel level : levels) {
+    std::printf("%-7s compiled=%d supported=%d\n",
+                std::string(kc::simd::to_string(level)).c_str(),
+                kc::simd::isa_compiled(level), kc::simd::isa_supported(level));
+  }
+  std::printf("active=%s\n", kc::simd::active_kernels().name);
+}
+
+}  // namespace
+
+#ifdef KC_HAVE_GBENCH
+int run_gbench(int argc, char** argv);  // defined below
+#endif
+
+int main(int argc, char** argv) {
+  MatrixConfig cfg;
+  std::string json_path = "BENCH_kernels.json";
+  // Flag errors exit 2, the bench-wide convention (bench/common.hpp).
+  const auto positive_number = [](const std::string& arg,
+                                  const std::string& value) -> std::size_t {
+    try {
+      const std::size_t parsed = std::stoull(value);
+      if (parsed > 0) return parsed;
+    } catch (const std::exception&) {
+    }
+    std::fprintf(stderr, "bad value in %s (need a positive integer)\n",
+                 arg.c_str());
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--print-isa") {
+      print_isa();
+      return 0;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--n=", 0) == 0) {
+      cfg.n = positive_number(arg, arg.substr(4));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      cfg.reps = static_cast<int>(positive_number(arg, arg.substr(7)));
+    } else if (arg == "--gbench") {
+#ifdef KC_HAVE_GBENCH
+      // Hand the remaining args to google-benchmark (shift ours out).
+      argv[i] = argv[0];
+      return run_gbench(argc - i, argv + i);
+#else
+      std::fprintf(stderr,
+                   "built without google-benchmark; --gbench unavailable\n");
+      return 1;
+#endif
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const auto cells = run_matrix(cfg);
+  print_table(cells);
+  if (!json_path.empty()) write_json(cells, cfg, json_path);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// The original google-benchmark suite (end-to-end shapes: oracle-level
+// pair calls, GON, partitioning, covering radius).
+#ifdef KC_HAVE_GBENCH
+
+#include <benchmark/benchmark.h>
+
+namespace {
 
 void BM_PairDistance(benchmark::State& state) {
   const auto dim = static_cast<std::size_t>(state.range(0));
@@ -111,4 +390,11 @@ BENCHMARK(BM_CoveringRadius)->Arg(1 << 14)->Arg(1 << 17);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int run_gbench(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+#endif  // KC_HAVE_GBENCH

@@ -27,7 +27,10 @@ GonzalezResult gonzalez(const DistanceOracle& oracle,
 
   // best[i] = comparable distance from pts[i] to the nearest chosen
   // center so far. Each new center costs one update_nearest sweep, for
-  // the O(k*N) total the paper cites in §5.1.
+  // the O(k*N) total the paper cites in §5.1. The sweep and the argmax
+  // both run on the SIMD kernel engine; top-level callers pass
+  // all_indices(), so the sweep takes the contiguous fast path and
+  // streams PointSet rows without the ids gather.
   std::vector<double> best(n, kInfDist);
 
   index_t current = pts[first_pos];

@@ -58,12 +58,20 @@ KCenterResult hochbaum_shmoys(const DistanceOracle& oracle,
   }
 
   // Candidate radii: all pairwise comparable distances, deduplicated.
+  // Each source point contributes one update_nearest sweep over the
+  // points after it (min against kInfDist = the raw distance), so the
+  // candidate list is produced by the vectorized bulk kernels — and by
+  // the contiguous fast path when pts is an iota span — instead of
+  // O(n^2) scalar pair calls.
   std::vector<double> candidates;
   candidates.reserve(pts.size() * (pts.size() - 1) / 2);
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    for (std::size_t j = i + 1; j < pts.size(); ++j) {
-      candidates.push_back(oracle.comparable(pts[i], pts[j]));
-    }
+  std::vector<double> row(pts.size() - 1);
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    const auto tail = pts.subspan(i + 1);
+    const std::span<double> out(row.data(), tail.size());
+    std::fill(out.begin(), out.end(), kInfDist);
+    oracle.update_nearest(tail, pts[i], out);
+    candidates.insert(candidates.end(), out.begin(), out.end());
   }
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
@@ -93,11 +101,10 @@ KCenterResult hochbaum_shmoys(const DistanceOracle& oracle,
     throw std::logic_error("hochbaum_shmoys: feasibility search failed");
   }
 
-  // Report the solution's actual covering radius over pts.
+  // Report the solution's actual covering radius over pts (one
+  // center-blocked pass instead of one sweep per center).
   std::vector<double> best(pts.size(), kInfDist);
-  for (const index_t c : result.centers) {
-    oracle.update_nearest(pts, c, best);
-  }
+  oracle.update_nearest_multi(pts, result.centers, best);
   result.radius_comparable = best[argmax(std::span<const double>(best))];
   return result;
 }

@@ -173,7 +173,9 @@ EimResult eim(const DistanceOracle& oracle, std::span<const index_t> pts,
     // ---- Round 2 (lines 5-6): one machine receives H and S and picks
     // the pivot v = the phi*log(n)-th farthest point of H from S.
     // d(x, S) is maintained incrementally: only the distances to the
-    // *new* sample members are computed.
+    // *new* sample members are computed, and update_nearest_multi
+    // folds them in center-blocked groups of simd::kCenterBlock per
+    // streaming pass over H.
     double removal_threshold = -kInfDist;
     auto& select_round = cluster.run_indexed_round(
         "eim-select", 1,

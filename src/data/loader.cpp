@@ -93,7 +93,7 @@ PointSet load_numeric_csv(const std::string& path, const CsvOptions& options) {
     throw std::runtime_error("load_numeric_csv: no numeric rows in '" + path +
                              "'");
   }
-  return PointSet(dim, std::move(coords));
+  return PointSet(dim, coords);
 }
 
 void save_csv(const PointSet& points, const std::string& path,

@@ -1,8 +1,47 @@
 #include "eval/evaluate.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace kc::eval {
+
+namespace {
+
+/// Folds best[i] = min(best[i], comparable(pts[i], nearest center)) via
+/// the bulk update_nearest_multi kernels, so evaluation scans get the
+/// SIMD tables, the contiguous fast path, center blocking, and (when
+/// the oracle has a bound executor) sharding — instead of scalar
+/// per-pair calls. The caller initializes best (e.g. to kInfDist).
+/// When no executor is bound and `parallel` is set, the scan is chunked
+/// across OpenMP threads; chunks write disjoint slices with the same
+/// per-point fold, so the values stay bit-identical to the sequential
+/// pass.
+void nearest_comparable_bulk(const DistanceOracle& oracle,
+                             std::span<const index_t> pts,
+                             std::span<const index_t> centers,
+                             std::span<double> best, bool parallel) {
+#ifdef KC_HAVE_OPENMP
+  if (parallel && oracle.executor() == nullptr) {
+    constexpr std::size_t kChunk = 4096;
+    const auto nchunks =
+        static_cast<std::int64_t>((pts.size() + kChunk - 1) / kChunk);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t b = 0; b < nchunks; ++b) {
+      const std::size_t lo = static_cast<std::size_t>(b) * kChunk;
+      const std::size_t len = std::min(kChunk, pts.size() - lo);
+      oracle.update_nearest_multi(pts.subspan(lo, len), centers,
+                                  best.subspan(lo, len));
+    }
+    return;
+  }
+#else
+  (void)parallel;
+#endif
+  oracle.update_nearest_multi(pts, centers, best);
+}
+
+}  // namespace
 
 Evaluation covering_radius(const DistanceOracle& oracle,
                            std::span<const index_t> pts,
@@ -12,48 +51,13 @@ Evaluation covering_radius(const DistanceOracle& oracle,
     throw std::invalid_argument("covering_radius: empty centers");
   }
 
-  double best = -1.0;
-  std::size_t best_pos = 0;
-
-#ifdef KC_HAVE_OPENMP
-  if (parallel) {
-#pragma omp parallel
-    {
-      double local_best = -1.0;
-      std::size_t local_pos = 0;
-#pragma omp for nowait
-      for (std::size_t i = 0; i < pts.size(); ++i) {
-        const double d = oracle.nearest_comparable(pts[i], centers);
-        if (d > local_best) {
-          local_best = d;
-          local_pos = i;
-        }
-      }
-#pragma omp critical
-      {
-        if (local_best > best) {
-          best = local_best;
-          best_pos = local_pos;
-        }
-      }
-    }
-  } else
-#else
-  (void)parallel;
-#endif
-  {
-    for (std::size_t i = 0; i < pts.size(); ++i) {
-      const double d = oracle.nearest_comparable(pts[i], centers);
-      if (d > best) {
-        best = d;
-        best_pos = i;
-      }
-    }
-  }
+  std::vector<double> best(pts.size(), kInfDist);
+  nearest_comparable_bulk(oracle, pts, centers, best, parallel);
+  const std::size_t best_pos = argmax(best);
 
   Evaluation out;
-  out.radius_comparable = best;
-  out.radius = oracle.to_reported(best);
+  out.radius_comparable = best[best_pos];
+  out.radius = oracle.to_reported(best[best_pos]);
   out.witness = pts[best_pos];
   return out;
 }

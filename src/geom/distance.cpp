@@ -1,10 +1,17 @@
 #include "geom/distance.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "geom/parallel.hpp"
 
 namespace kc {
+
+// The kernel tables are indexed by MetricKind's enumerator values.
+static_assert(static_cast<std::size_t>(MetricKind::L2) == 0 &&
+              static_cast<std::size_t>(MetricKind::L1) == 1 &&
+              static_cast<std::size_t>(MetricKind::Linf) == 2 &&
+              simd::kMetricCount == 3);
 
 std::string_view to_string(MetricKind kind) noexcept {
   switch (kind) {
@@ -15,74 +22,10 @@ std::string_view to_string(MetricKind kind) noexcept {
   return "?";
 }
 
-namespace {
-
-// Per-metric pair kernels. The dim-2/3 specializations matter: the
-// paper's synthetic data is 2-3 dimensional and the generic loop costs
-// roughly 2x on those shapes.
-
-[[nodiscard]] inline double l2sq(const double* a, const double* b,
-                                 std::size_t dim) noexcept {
-  if (dim == 2) {
-    const double d0 = a[0] - b[0];
-    const double d1 = a[1] - b[1];
-    return d0 * d0 + d1 * d1;
-  }
-  if (dim == 3) {
-    const double d0 = a[0] - b[0];
-    const double d1 = a[1] - b[1];
-    const double d2 = a[2] - b[2];
-    return d0 * d0 + d1 * d1 + d2 * d2;
-  }
-  double acc = 0.0;
-  for (std::size_t i = 0; i < dim; ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
-}
-
-[[nodiscard]] inline double l1(const double* a, const double* b,
-                               std::size_t dim) noexcept {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < dim; ++i) acc += std::abs(a[i] - b[i]);
-  return acc;
-}
-
-[[nodiscard]] inline double linf(const double* a, const double* b,
-                                 std::size_t dim) noexcept {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < dim; ++i) {
-    const double d = std::abs(a[i] - b[i]);
-    if (d > acc) acc = d;
-  }
-  return acc;
-}
-
-template <typename Kernel>
-void update_nearest_loop(const PointSet& ps, std::span<const index_t> ids,
-                         index_t center, std::span<double> best,
-                         Kernel&& kernel) noexcept {
-  const double* c = ps.data(center);
-  const std::size_t dim = ps.dim();
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    const double d = kernel(ps.data(ids[i]), c, dim);
-    if (d < best[i]) best[i] = d;
-  }
-}
-
-}  // namespace
-
 double DistanceOracle::comparable(index_t a, index_t b) const noexcept {
   counters::add_distance_evals(1, dim());
-  const double* pa = points_->data(a);
-  const double* pb = points_->data(b);
-  switch (kind_) {
-    case MetricKind::L2: return l2sq(pa, pb, dim());
-    case MetricKind::L1: return l1(pa, pb, dim());
-    case MetricKind::Linf: return linf(pa, pb, dim());
-  }
-  return 0.0;
+  return kernels_->pair[metric_index()](points_->data(a), points_->data(b),
+                                        dim());
 }
 
 double DistanceOracle::to_reported(double comp) const noexcept {
@@ -93,75 +36,82 @@ double DistanceOracle::from_reported(double dist) const noexcept {
   return kind_ == MetricKind::L2 ? dist * dist : dist;
 }
 
-void DistanceOracle::update_nearest_span(std::span<const index_t> ids,
-                                         index_t center,
-                                         std::span<double> best) const noexcept {
-  switch (kind_) {
-    case MetricKind::L2:
-      update_nearest_loop(*points_, ids, center, best,
-                          [](const double* a, const double* b, std::size_t d) {
-                            return l2sq(a, b, d);
-                          });
-      return;
-    case MetricKind::L1:
-      update_nearest_loop(*points_, ids, center, best,
-                          [](const double* a, const double* b, std::size_t d) {
-                            return l1(a, b, d);
-                          });
-      return;
-    case MetricKind::Linf:
-      update_nearest_loop(*points_, ids, center, best,
-                          [](const double* a, const double* b, std::size_t d) {
-                            return linf(a, b, d);
-                          });
-      return;
-  }
-}
-
 void DistanceOracle::update_nearest(std::span<const index_t> ids,
                                     index_t center,
                                     std::span<double> best) const noexcept {
   // The whole scan is charged to the calling thread up front, so a
   // sharded execution attributes work exactly as a sequential one.
   counters::add_distance_evals(ids.size(), dim());
+  if (ids.empty()) return;
+
+  // Iota id spans — what all_indices() produces and most call sites
+  // pass — skip the gather indirection and stream PointSet rows.
+  const bool contig = simd::is_contiguous_run(ids.data(), ids.size());
+  const std::size_t m = metric_index();
+  const std::size_t d = dim();
+  const double* c = points_->data(center);
+  const auto run = [&](std::size_t lo, std::size_t hi) {
+    if (contig) {
+      kernels_->nearest_contig[m](points_->data(ids[lo]), d, hi - lo, c,
+                                  best.data() + lo);
+    } else {
+      kernels_->nearest_gather[m](points_->raw().data(), d, ids.data() + lo,
+                                  hi - lo, c, best.data() + lo);
+    }
+  };
   if (exec_ != nullptr && ids.size() >= shard_min_) {
-    sharded_for(exec_, ids.size(), shard_min_,
-                [&](std::size_t lo, std::size_t hi) {
-                  update_nearest_span(ids.subspan(lo, hi - lo), center,
-                                      best.subspan(lo, hi - lo));
-                });
+    sharded_for(exec_, ids.size(), shard_min_, run);
     return;
   }
-  update_nearest_span(ids, center, best);
+  run(0, ids.size());
 }
 
 void DistanceOracle::update_nearest_multi(std::span<const index_t> ids,
                                           std::span<const index_t> centers,
                                           std::span<double> best) const noexcept {
-  // Center-major order: each pass streams the ids contiguously while the
-  // center stays in registers. For the batch sizes EIM produces
-  // (thousands of new samples) this is memory-bandwidth optimal.
+  if (ids.empty() || centers.empty()) return;
+  // One bulk charge for the whole ids x centers batch.
+  counters::add_distance_evals(ids.size() * centers.size(), dim());
+
+  const bool contig = simd::is_contiguous_run(ids.data(), ids.size());
+  const std::size_t m = metric_index();
+  const std::size_t d = dim();
+  // Per chunk, centers are tiled in blocks of kCenterBlock: each
+  // streaming pass over the chunk folds a whole block per load of
+  // best/ids. Fold order stays center-major (block by block, in-block
+  // in order), which is bit-identical to repeated update_nearest.
+  const auto run = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t cb = 0; cb < centers.size(); cb += simd::kCenterBlock) {
+      const std::size_t nc = std::min(simd::kCenterBlock, centers.size() - cb);
+      const double* cptr[simd::kCenterBlock];
+      for (std::size_t j = 0; j < nc; ++j) {
+        cptr[j] = points_->data(centers[cb + j]);
+      }
+      if (contig) {
+        kernels_->nearest_multi_contig[m](points_->data(ids[lo]), d, hi - lo,
+                                          cptr, nc, best.data() + lo);
+      } else {
+        kernels_->nearest_multi_gather[m](points_->raw().data(), d,
+                                          ids.data() + lo, hi - lo, cptr, nc,
+                                          best.data() + lo);
+      }
+    }
+  };
+
   // Shard on *total* work (ids x centers pairs): tall-thin batches —
   // few ids against many new centers, EIM's select round shape — carry
-  // as many evals as a wide single-center scan. The grain shrinks with
-  // the center count so each chunk still does ~shard_min_/2 pair evals.
-  if (exec_ != nullptr && !centers.empty() && ids.size() > 1 &&
-      ids.size() * centers.size() >= shard_min_) {
-    // One fan-out for the whole batch; each chunk keeps the
-    // center-major order over its slice. Same min-fold, same result.
-    counters::add_distance_evals(ids.size() * centers.size(), dim());
+  // as many evals as a wide single-center scan. The predicate divides
+  // instead of multiplying so it cannot overflow; the grain shrinks
+  // with the center count so each chunk still does ~shard_min_/2 pair
+  // evals.
+  if (exec_ != nullptr && ids.size() > 1 &&
+      ids.size() > shard_min_ / centers.size()) {
     const std::size_t grain =
         std::max<std::size_t>(1, shard_min_ / 2 / centers.size());
-    exec_->parallel_for(ids.size(), grain,
-                        [&](std::size_t lo, std::size_t hi) {
-                          for (const index_t c : centers) {
-                            update_nearest_span(ids.subspan(lo, hi - lo), c,
-                                                best.subspan(lo, hi - lo));
-                          }
-                        });
+    exec_->parallel_for(ids.size(), grain, run);
     return;
   }
-  for (const index_t c : centers) update_nearest(ids, c, best);
+  run(0, ids.size());
 }
 
 double DistanceOracle::nearest_comparable(
@@ -192,22 +142,25 @@ std::vector<double> DistanceOracle::pairwise_comparable(
     std::span<const index_t> ids) const {
   const std::size_t n = ids.size();
   std::vector<double> matrix(n * n, 0.0);
+  if (n < 2) return matrix;
+  // Bulk-kernel accounting: one charge for the whole O(n^2) scan and
+  // one metric dispatch, hoisted out of the pair loop.
+  counters::add_distance_evals(n * (n - 1) / 2, dim());
+  const auto pair = kernels_->pair[metric_index()];
+  const std::size_t d = dim();
   for (std::size_t i = 0; i < n; ++i) {
+    const double* pi = points_->data(ids[i]);
     for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = comparable(ids[i], ids[j]);
-      matrix[i * n + j] = d;
-      matrix[j * n + i] = d;
+      const double v = pair(pi, points_->data(ids[j]), d);
+      matrix[i * n + j] = v;
+      matrix[j * n + i] = v;
     }
   }
   return matrix;
 }
 
 std::size_t argmax(std::span<const double> values) noexcept {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < values.size(); ++i) {
-    if (values[i] > values[best]) best = i;
-  }
-  return best;
+  return simd::active_kernels().argmax(values.data(), values.size());
 }
 
 }  // namespace kc

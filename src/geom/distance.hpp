@@ -9,8 +9,10 @@
 // L1 and Linf use the true distance as their comparable value.
 //
 // The hot loops dispatch on the metric once per kernel call, then run
-// a tight per-metric loop with small-dimension specializations; all
-// algorithm code stays non-templated.
+// through the SIMD kernel engine (geom/kernels.hpp): runtime-selected
+// scalar/AVX2/AVX-512 tables with small-dimension specializations,
+// contiguous-range fast paths, and center-blocked multi scans; all
+// algorithm code stays non-templated and ISA-agnostic.
 #pragma once
 
 #include <limits>
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "geom/counters.hpp"
+#include "geom/kernels.hpp"
 #include "geom/point_set.hpp"
 
 namespace kc::exec {
@@ -75,6 +78,17 @@ class DistanceOracle {
     return exec_;
   }
 
+  /// Overrides the kernel table used by this oracle (nullptr restores
+  /// the process-wide selection). Test/bench seam for A/B-ing SIMD
+  /// levels inside one process; the KC_FORCE_SCALAR environment
+  /// variable is the whole-process equivalent.
+  void force_kernels(const simd::KernelTable* table) noexcept {
+    kernels_ = table != nullptr ? table : &simd::active_kernels();
+  }
+  [[nodiscard]] const simd::KernelTable* kernels() const noexcept {
+    return kernels_;
+  }
+
   /// Comparable distance between points a and b.
   [[nodiscard]] double comparable(index_t a, index_t b) const noexcept;
 
@@ -97,8 +111,11 @@ class DistanceOracle {
                       std::span<double> best) const noexcept;
 
   /// best[i] = min over c in centers of comparable(ids[i], c), folded
-  /// into the existing best[i]. Equivalent to repeated update_nearest
-  /// but with better locality for small center batches.
+  /// into the existing best[i]. Bit-identical to repeated
+  /// update_nearest, but tiles centers in blocks of simd::kCenterBlock
+  /// so each streaming pass over the points folds several centers per
+  /// load of best/ids — ~4x less memory traffic for EIM's select-round
+  /// batches.
   void update_nearest_multi(std::span<const index_t> ids,
                             std::span<const index_t> centers,
                             std::span<double> best) const noexcept;
@@ -120,19 +137,22 @@ class DistanceOracle {
       std::span<const index_t> ids) const;
 
  private:
-  /// update_nearest without counter updates: the unit the sharded
-  /// kernels run per chunk (the caller has already charged the scan).
-  void update_nearest_span(std::span<const index_t> ids, index_t center,
-                           std::span<double> best) const noexcept;
+  [[nodiscard]] std::size_t metric_index() const noexcept {
+    return static_cast<std::size_t>(kind_);
+  }
 
   const PointSet* points_;
   MetricKind kind_;
   exec::ExecutionBackend* exec_ = nullptr;  ///< not owned; may be null
   std::size_t shard_min_ = kShardMinItems;
+  /// Active kernel table; never null (defaults to the process-wide
+  /// runtime-dispatched selection).
+  const simd::KernelTable* kernels_ = &simd::active_kernels();
 };
 
 /// Position of the maximum element (first on ties); spans must be
-/// non-empty.
+/// non-empty and NaN-free (distance arrays always are). Vectorized via
+/// the active kernel table.
 [[nodiscard]] std::size_t argmax(std::span<const double> values) noexcept;
 
 }  // namespace kc

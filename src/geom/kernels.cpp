@@ -1,0 +1,119 @@
+// Runtime ISA dispatch for the kernel engine.
+//
+// The per-ISA tables live in their own translation units; this file
+// decides, once per process, which one the oracle-facing entry points
+// use. The decision order: KC_FORCE_SCALAR wins, then the widest
+// compiled-in level the CPU supports, then scalar. KC_HAVE_AVX2_TU /
+// KC_HAVE_AVX512_TU are defined by CMake exactly when the matching
+// translation unit was compiled with its ISA flag, so the extern table
+// references below never dangle.
+#include "geom/kernels.hpp"
+
+#include <cstdlib>
+
+namespace kc::simd {
+
+const KernelTable& scalar_kernel_table() noexcept;
+#ifdef KC_HAVE_AVX2_TU
+const KernelTable& avx2_kernel_table() noexcept;
+#endif
+#ifdef KC_HAVE_AVX512_TU
+const KernelTable& avx512_kernel_table() noexcept;
+#endif
+
+std::string_view to_string(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::Scalar: return "scalar";
+    case IsaLevel::Avx2: return "avx2";
+    case IsaLevel::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+bool isa_compiled(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::Scalar:
+      return true;
+    case IsaLevel::Avx2:
+#ifdef KC_HAVE_AVX2_TU
+      return true;
+#else
+      return false;
+#endif
+    case IsaLevel::Avx512:
+#ifdef KC_HAVE_AVX512_TU
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool isa_supported(IsaLevel level) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (level) {
+    case IsaLevel::Scalar: return true;
+    case IsaLevel::Avx2: return __builtin_cpu_supports("avx2") != 0;
+    case IsaLevel::Avx512: return __builtin_cpu_supports("avx512f") != 0;
+  }
+  return false;
+#else
+  return level == IsaLevel::Scalar;
+#endif
+}
+
+const KernelTable* kernels_for(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::Scalar:
+      return &scalar_kernel_table();
+    case IsaLevel::Avx2:
+#ifdef KC_HAVE_AVX2_TU
+      return &avx2_kernel_table();
+#else
+      return nullptr;
+#endif
+    case IsaLevel::Avx512:
+#ifdef KC_HAVE_AVX512_TU
+      return &avx512_kernel_table();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool force_scalar_requested() noexcept {
+  static const bool forced = [] {
+    const char* env = std::getenv("KC_FORCE_SCALAR");
+    return env != nullptr && *env != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }();
+  return forced;
+}
+
+IsaLevel active_level() noexcept {
+  static const IsaLevel selected = [] {
+    if (force_scalar_requested()) return IsaLevel::Scalar;
+    for (const IsaLevel level : {IsaLevel::Avx512, IsaLevel::Avx2}) {
+      if (isa_compiled(level) && isa_supported(level)) return level;
+    }
+    return IsaLevel::Scalar;
+  }();
+  return selected;
+}
+
+const KernelTable& active_kernels() noexcept {
+  return *kernels_for(active_level());
+}
+
+bool is_contiguous_run(const index_t* ids, std::size_t n) noexcept {
+  if (n == 0) return true;
+  const std::size_t first = ids[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (ids[i] != first + i) return false;
+  }
+  return true;
+}
+
+}  // namespace kc::simd

@@ -1,0 +1,124 @@
+// Vectorized distance-kernel engine with runtime ISA dispatch.
+//
+// Every algorithm in the reproduction bottoms out in the per-metric
+// pair loops, so those loops are implemented three times — scalar,
+// AVX2, AVX-512 — as separate translation units compiled with per-file
+// ISA flags (the binary stays portable; the wide code is only *executed*
+// after `__builtin_cpu_supports` says the host has the instructions).
+//
+// The determinism contract, inherited from the execution-backend layer:
+// vectorized kernels are **bit-identical** to the scalar loops. They
+// vectorize *across points* — one point per lane, accumulating over the
+// coordinates sequentially — so each lane performs exactly the scalar
+// operation sequence, and the SIMD translation units are compiled with
+// `-ffp-contract=off` so no FMA contraction or reassociation can creep
+// in. A result computed on an AVX-512 host equals one computed on a
+// scalar host bit for bit, which keeps the cross-backend determinism
+// tests meaningful on heterogeneous fleets.
+//
+// Selection happens once per process: the best compiled-in level the
+// CPU supports, unless the environment sets KC_FORCE_SCALAR (any value
+// other than "0"), the escape hatch for debugging and for A/B runs.
+// Tests and benches can also grab a specific table via `kernels_for`.
+//
+// Two structural fast paths ride on top of the kernels:
+//   - contiguous-range entry points (`nearest_contig` / multi): when the
+//     caller's id span is an iota run — what `PointSet::all_indices`
+//     produces and most call sites pass — the kernels stream PointSet
+//     rows directly instead of gathering through the index array;
+//   - center-blocked multi kernels: up to kCenterBlock centers are
+//     folded per streaming pass over the points, cutting best[]/ids[]
+//     traffic ~4x for EIM's select-round batches.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "geom/point_set.hpp"
+
+namespace kc::simd {
+
+/// Number of centers folded per streaming pass by the blocked
+/// update_nearest_multi kernels.
+inline constexpr std::size_t kCenterBlock = 4;
+
+/// Number of metrics (mirrors MetricKind; kernel tables are indexed by
+/// static_cast<size_t>(MetricKind)).
+inline constexpr std::size_t kMetricCount = 3;
+
+/// One ISA's worth of kernels. Function pointers are indexed by metric
+/// (the MetricKind enumerator value) so the per-call metric switch is a
+/// single table load, hoisted out of every pair loop.
+struct KernelTable {
+  /// "scalar", "avx2", "avx512".
+  const char* name;
+
+  /// Comparable distance of one pair (the scalar unit; shared by every
+  /// table — single pairs do not vectorize across points).
+  double (*pair[kMetricCount])(const double* a, const double* b,
+                               std::size_t dim);
+
+  /// best[i] = min(best[i], metric(coords + ids[i]*dim, center)).
+  void (*nearest_gather[kMetricCount])(const double* coords, std::size_t dim,
+                                       const index_t* ids, std::size_t n,
+                                       const double* center, double* best);
+
+  /// Contiguous fast path: rows points at the first of n consecutive
+  /// point rows; best[i] = min(best[i], metric(rows + i*dim, center)).
+  void (*nearest_contig[kMetricCount])(const double* rows, std::size_t dim,
+                                       std::size_t n, const double* center,
+                                       double* best);
+
+  /// Center-blocked variants: centers[0..ncenters) are folded into best
+  /// in order during one pass over the points. ncenters must be in
+  /// [1, kCenterBlock]; callers tile larger batches.
+  void (*nearest_multi_gather[kMetricCount])(
+      const double* coords, std::size_t dim, const index_t* ids, std::size_t n,
+      const double* const* centers, std::size_t ncenters, double* best);
+  void (*nearest_multi_contig[kMetricCount])(
+      const double* rows, std::size_t dim, std::size_t n,
+      const double* const* centers, std::size_t ncenters, double* best);
+
+  /// Position of the maximum element, first on ties; n must be positive
+  /// and values must be NaN-free (distance arrays always are).
+  std::size_t (*argmax)(const double* values, std::size_t n);
+};
+
+enum class IsaLevel {
+  Scalar,
+  Avx2,
+  Avx512,
+};
+
+[[nodiscard]] std::string_view to_string(IsaLevel level) noexcept;
+
+/// True when this binary contains the level's translation unit (the
+/// compiler supported the per-file ISA flag at build time).
+[[nodiscard]] bool isa_compiled(IsaLevel level) noexcept;
+
+/// True when the host CPU can execute the level's instructions.
+[[nodiscard]] bool isa_supported(IsaLevel level) noexcept;
+
+/// The level's kernel table, or nullptr when not compiled in. Intended
+/// for the equivalence tests and the kernel microbenchmarks; algorithm
+/// code goes through active_kernels().
+[[nodiscard]] const KernelTable* kernels_for(IsaLevel level) noexcept;
+
+/// True when the KC_FORCE_SCALAR environment variable requests the
+/// scalar kernels (set and not "0"). Read once per process.
+[[nodiscard]] bool force_scalar_requested() noexcept;
+
+/// The process-wide selection: the best compiled-in level the CPU
+/// supports, or Scalar under KC_FORCE_SCALAR. Decided once, on first
+/// call.
+[[nodiscard]] IsaLevel active_level() noexcept;
+[[nodiscard]] const KernelTable& active_kernels() noexcept;
+
+/// True when `ids` is a contiguous ascending run (ids[i] == ids[0] + i),
+/// i.e. the gather indirection can be bypassed. O(n), but trivially
+/// cheap next to the O(n * dim) scan it unlocks; empty spans count as
+/// contiguous.
+[[nodiscard]] bool is_contiguous_run(const index_t* ids,
+                                     std::size_t n) noexcept;
+
+}  // namespace kc::simd

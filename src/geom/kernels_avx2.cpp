@@ -1,0 +1,73 @@
+// AVX2 kernel table: 4 points per 256-bit lane group.
+//
+// This translation unit is compiled with -mavx2 -ffp-contract=off (see
+// the top-level CMakeLists); the rest of the library keeps the portable
+// baseline flags, and kernels.cpp only routes calls here after
+// __builtin_cpu_supports("avx2") confirms the host can execute it.
+// -mavx2 deliberately does not enable FMA, and -ffp-contract=off makes
+// sure no mul+add is fused even by an overzealous optimizer — the
+// bit-identical-to-scalar contract depends on it.
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "geom/kernels_simd_impl.hpp"
+
+namespace kc::simd {
+
+namespace {
+
+struct VecAvx2 {
+  static constexpr std::size_t kWidth = 4;
+  using reg = __m256d;
+
+  static reg zero() { return _mm256_setzero_pd(); }
+  static reg set1(double v) { return _mm256_set1_pd(v); }
+  static reg loadu(const double* p) { return _mm256_loadu_pd(p); }
+  static void storeu(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm256_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_pd(a, b); }
+  // vminpd/vmaxpd return the second operand on ties (and on NaN), so
+  // with the candidate first these are exactly the scalar strict-<
+  // and strict-> updates.
+  static reg vmin(reg a, reg b) { return _mm256_min_pd(a, b); }
+  static reg vmax(reg a, reg b) { return _mm256_max_pd(a, b); }
+  static reg vabs(reg v) {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+  }
+
+  static reg load_strided(const double* p, std::size_t stride) {
+    return _mm256_set_pd(p[3 * stride], p[2 * stride], p[stride], p[0]);
+  }
+  static reg load_rows(const double* const* rows, std::size_t d) {
+    return _mm256_set_pd(rows[3][d], rows[2][d], rows[1][d], rows[0][d]);
+  }
+
+  /// Splits 4 consecutive dim-2 rows [x0 y0 .. x3 y3] into coordinate
+  /// vectors [x0..x3], [y0..y3] with in-register shuffles.
+  static void deinterleave2(const double* p, reg& x, reg& y) {
+    const __m256d a = _mm256_loadu_pd(p);      // x0 y0 x1 y1
+    const __m256d b = _mm256_loadu_pd(p + 4);  // x2 y2 x3 y3
+    const __m256d lo = _mm256_permute2f128_pd(a, b, 0x20);  // x0 y0 x2 y2
+    const __m256d hi = _mm256_permute2f128_pd(a, b, 0x31);  // x1 y1 x3 y3
+    x = _mm256_unpacklo_pd(lo, hi);
+    y = _mm256_unpackhi_pd(lo, hi);
+  }
+
+  static unsigned cmpeq_mask(reg a, reg b) {
+    return static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(a, b, _CMP_EQ_OQ)));
+  }
+};
+
+constexpr KernelTable kAvx2Table = make_kernel_table<VecAvx2>("avx2");
+
+}  // namespace
+
+// Internal hook for kernels.cpp's dispatch.
+const KernelTable& avx2_kernel_table() noexcept { return kAvx2Table; }
+
+}  // namespace kc::simd
+
+#endif  // __AVX2__

@@ -1,0 +1,60 @@
+// Scalar kernel table: the reference implementation every vectorized
+// table must match bit for bit, and the fallback on hosts (or builds)
+// without AVX2. Compiled with the project's portable baseline flags.
+#include "geom/kernels.hpp"
+#include "geom/kernels_scalar_impl.hpp"
+
+namespace kc::simd {
+
+namespace {
+
+template <double (*Pair)(const double*, const double*, std::size_t)>
+void nearest_gather_fn(const double* coords, std::size_t dim,
+                       const index_t* ids, std::size_t n, const double* center,
+                       double* best) {
+  scalar::nearest_gather(coords, dim, ids, n, center, best, Pair);
+}
+
+template <double (*Pair)(const double*, const double*, std::size_t)>
+void nearest_contig_fn(const double* rows, std::size_t dim, std::size_t n,
+                       const double* center, double* best) {
+  scalar::nearest_contig(rows, dim, n, center, best, Pair);
+}
+
+template <double (*Pair)(const double*, const double*, std::size_t)>
+void nearest_multi_gather_fn(const double* coords, std::size_t dim,
+                             const index_t* ids, std::size_t n,
+                             const double* const* centers, std::size_t ncenters,
+                             double* best) {
+  scalar::nearest_multi_gather(coords, dim, ids, n, centers, ncenters, best,
+                               Pair);
+}
+
+template <double (*Pair)(const double*, const double*, std::size_t)>
+void nearest_multi_contig_fn(const double* rows, std::size_t dim,
+                             std::size_t n, const double* const* centers,
+                             std::size_t ncenters, double* best) {
+  scalar::nearest_multi_contig(rows, dim, n, centers, ncenters, best, Pair);
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",
+    {scalar::l2sq, scalar::l1, scalar::linf},
+    {nearest_gather_fn<scalar::l2sq>, nearest_gather_fn<scalar::l1>,
+     nearest_gather_fn<scalar::linf>},
+    {nearest_contig_fn<scalar::l2sq>, nearest_contig_fn<scalar::l1>,
+     nearest_contig_fn<scalar::linf>},
+    {nearest_multi_gather_fn<scalar::l2sq>, nearest_multi_gather_fn<scalar::l1>,
+     nearest_multi_gather_fn<scalar::linf>},
+    {nearest_multi_contig_fn<scalar::l2sq>, nearest_multi_contig_fn<scalar::l1>,
+     nearest_multi_contig_fn<scalar::linf>},
+    scalar::argmax,
+};
+
+}  // namespace
+
+// Internal hook for kernels.cpp's dispatch (declared there, not in the
+// public header, so the table stays an implementation detail).
+const KernelTable& scalar_kernel_table() noexcept { return kScalarTable; }
+
+}  // namespace kc::simd

@@ -1,0 +1,145 @@
+// Scalar reference kernels, shared across the kernel translation units.
+//
+// These loops are the semantic ground truth for the whole kernel
+// engine: the scalar table is built from them directly, and the SIMD
+// translation units reuse them for ragged tails so every element of a
+// vectorized scan still executes exactly this operation sequence. Keep
+// them free of anything a compiler could legally reassociate — each
+// accumulation is a strict left-to-right fold.
+//
+// Everything here lives in an anonymous namespace ON PURPOSE, even
+// though this is a header: each including translation unit must get its
+// *own* internal copy, compiled with that TU's ISA flags. With ordinary
+// inline (vague) linkage the linker comdat-merges the copies and may
+// keep the one compiled under -mavx2/-mavx512f — and then the scalar
+// fallback table would execute AVX instructions on a host that has
+// none. Internal linkage makes that impossible: the scalar TU's copy is
+// baseline code, and the SIMD TUs' copies (used only for tails) only
+// run after runtime dispatch has confirmed their ISA. Include this
+// header only from the kernel TUs.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "geom/kernels.hpp"
+#include "geom/point_set.hpp"
+
+namespace kc::simd::scalar {
+namespace {
+
+// Per-metric pair kernels. The dim-2/3 specializations matter: the
+// paper's synthetic data is 2-3 dimensional and the generic loop costs
+// roughly 2x on those shapes. (0 + d*d == d*d bitwise for the
+// non-negative squares, so the specializations are bit-identical to the
+// generic fold.)
+
+[[nodiscard]] inline double l2sq(const double* a, const double* b,
+                                 std::size_t dim) noexcept {
+  if (dim == 2) {
+    const double d0 = a[0] - b[0];
+    const double d1 = a[1] - b[1];
+    return d0 * d0 + d1 * d1;
+  }
+  if (dim == 3) {
+    const double d0 = a[0] - b[0];
+    const double d1 = a[1] - b[1];
+    const double d2 = a[2] - b[2];
+    return d0 * d0 + d1 * d1 + d2 * d2;
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+[[nodiscard]] inline double l1(const double* a, const double* b,
+                               std::size_t dim) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+[[nodiscard]] inline double linf(const double* a, const double* b,
+                                 std::size_t dim) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double d = std::abs(a[i] - b[i]);
+    if (d > acc) acc = d;
+  }
+  return acc;
+}
+
+template <typename Pair>
+inline void nearest_gather(const double* coords, std::size_t dim,
+                           const index_t* ids, std::size_t n,
+                           const double* center, double* best,
+                           Pair&& pair) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d =
+        pair(coords + static_cast<std::size_t>(ids[i]) * dim, center, dim);
+    if (d < best[i]) best[i] = d;
+  }
+}
+
+template <typename Pair>
+inline void nearest_contig(const double* rows, std::size_t dim, std::size_t n,
+                           const double* center, double* best,
+                           Pair&& pair) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = pair(rows + i * dim, center, dim);
+    if (d < best[i]) best[i] = d;
+  }
+}
+
+// Blocked multi-center folds. Per point, centers are folded in order
+// 0..ncenters-1, which is exactly the result of `ncenters` sequential
+// single-center passes — the min-fold per (point, center) pair is the
+// same operation in the same order.
+
+template <typename Pair>
+inline void nearest_multi_gather(const double* coords, std::size_t dim,
+                                 const index_t* ids, std::size_t n,
+                                 const double* const* centers,
+                                 std::size_t ncenters, double* best,
+                                 Pair&& pair) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* p = coords + static_cast<std::size_t>(ids[i]) * dim;
+    double b = best[i];
+    for (std::size_t c = 0; c < ncenters; ++c) {
+      const double d = pair(p, centers[c], dim);
+      if (d < b) b = d;
+    }
+    best[i] = b;
+  }
+}
+
+template <typename Pair>
+inline void nearest_multi_contig(const double* rows, std::size_t dim,
+                                 std::size_t n, const double* const* centers,
+                                 std::size_t ncenters, double* best,
+                                 Pair&& pair) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* p = rows + i * dim;
+    double b = best[i];
+    for (std::size_t c = 0; c < ncenters; ++c) {
+      const double d = pair(p, centers[c], dim);
+      if (d < b) b = d;
+    }
+    best[i] = b;
+  }
+}
+
+[[nodiscard]] inline std::size_t argmax(const double* values,
+                                        std::size_t n) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace kc::simd::scalar

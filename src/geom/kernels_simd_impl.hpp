@@ -1,0 +1,263 @@
+// Shared SIMD kernel bodies, templated over a per-ISA vector
+// abstraction. Included only by the per-ISA translation units
+// (kernels_avx2.cpp, kernels_avx512.cpp); each supplies a Vec type:
+//
+//   static constexpr std::size_t kWidth;      // lanes per register
+//   using reg;                                // the register type
+//   reg zero(); reg set1(double);
+//   reg loadu(const double*); void storeu(double*, reg);
+//   reg add(reg, reg); reg sub(reg, reg); reg mul(reg, reg);
+//   reg vmin(reg a, reg b);   // lane: a < b ? a : b (b on ties/NaN)
+//   reg vmax(reg a, reg b);   // lane: a > b ? a : b (b on ties/NaN)
+//   reg vabs(reg);            // clears the sign bit, like std::fabs
+//   reg load_strided(const double* p, std::size_t stride);  // p[j*stride]
+//   reg load_rows(const double* const* rows, std::size_t d); // rows[j][d]
+//   void deinterleave2(const double* p, reg& x, reg& y);    // dim-2 rows
+//   unsigned cmpeq_mask(reg, reg);  // lane-equality bitmask (lane 0 = bit 0)
+//
+// Bit-identity with the scalar loops is by construction: lanes are
+// points, and each lane folds its coordinates in exactly the scalar
+// order (a strict left-to-right accumulation; the leading 0 + x of the
+// generic scalar fold is exact for the non-negative per-coordinate
+// terms). vmin/vmax operand order reproduces the scalar strict-<
+// comparisons' tie behavior. Ragged tails run the scalar reference
+// loops. The including translation units are compiled with
+// -ffp-contract=off so none of this can be fused into FMA.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+
+#include "geom/distance.hpp"
+#include "geom/kernels.hpp"
+#include "geom/kernels_scalar_impl.hpp"
+
+namespace kc::simd {
+
+template <typename V, MetricKind M>
+struct SimdKernels {
+  using reg = typename V::reg;
+  static constexpr std::size_t W = V::kWidth;
+
+  /// The scalar pair kernel for this metric (tails, odd lanes).
+  static constexpr auto kPair = M == MetricKind::L2   ? scalar::l2sq
+                                : M == MetricKind::L1 ? scalar::l1
+                                                      : scalar::linf;
+
+  /// One coordinate's contribution, in the scalar fold's exact order.
+  static reg accum(reg acc, reg diff) {
+    if constexpr (M == MetricKind::L2) {
+      return V::add(acc, V::mul(diff, diff));
+    } else if constexpr (M == MetricKind::L1) {
+      return V::add(acc, V::vabs(diff));
+    } else {
+      return V::vmax(V::vabs(diff), acc);
+    }
+  }
+
+  static void nearest_contig(const double* rows, std::size_t dim,
+                             std::size_t n, const double* center,
+                             double* best) {
+    std::size_t i = 0;
+    if (dim == 2) {
+      const reg c0 = V::set1(center[0]);
+      const reg c1 = V::set1(center[1]);
+      for (; i + W <= n; i += W) {
+        reg x, y;
+        V::deinterleave2(rows + 2 * i, x, y);
+        const reg acc = accum(accum(V::zero(), V::sub(x, c0)), V::sub(y, c1));
+        V::storeu(best + i, V::vmin(acc, V::loadu(best + i)));
+      }
+    } else if (dim == 3) {
+      const reg c0 = V::set1(center[0]);
+      const reg c1 = V::set1(center[1]);
+      const reg c2 = V::set1(center[2]);
+      for (; i + W <= n; i += W) {
+        const double* p = rows + 3 * i;
+        reg acc = accum(V::zero(), V::sub(V::load_strided(p + 0, 3), c0));
+        acc = accum(acc, V::sub(V::load_strided(p + 1, 3), c1));
+        acc = accum(acc, V::sub(V::load_strided(p + 2, 3), c2));
+        V::storeu(best + i, V::vmin(acc, V::loadu(best + i)));
+      }
+    } else {
+      for (; i + W <= n; i += W) {
+        const double* p = rows + dim * i;
+        reg acc = V::zero();
+        for (std::size_t d = 0; d < dim; ++d) {
+          acc = accum(acc, V::sub(V::load_strided(p + d, dim),
+                                  V::set1(center[d])));
+        }
+        V::storeu(best + i, V::vmin(acc, V::loadu(best + i)));
+      }
+    }
+    if (i < n) {
+      scalar::nearest_contig(rows + dim * i, dim, n - i, center, best + i,
+                             kPair);
+    }
+  }
+
+  static void nearest_gather(const double* coords, std::size_t dim,
+                             const index_t* ids, std::size_t n,
+                             const double* center, double* best) {
+    std::size_t i = 0;
+    const double* rows[W];
+    if (dim == 2) {
+      const reg c0 = V::set1(center[0]);
+      const reg c1 = V::set1(center[1]);
+      for (; i + W <= n; i += W) {
+        for (std::size_t j = 0; j < W; ++j) {
+          rows[j] = coords + static_cast<std::size_t>(ids[i + j]) * 2;
+        }
+        const reg acc =
+            accum(accum(V::zero(), V::sub(V::load_rows(rows, 0), c0)),
+                  V::sub(V::load_rows(rows, 1), c1));
+        V::storeu(best + i, V::vmin(acc, V::loadu(best + i)));
+      }
+    } else {
+      for (; i + W <= n; i += W) {
+        for (std::size_t j = 0; j < W; ++j) {
+          rows[j] = coords + static_cast<std::size_t>(ids[i + j]) * dim;
+        }
+        reg acc = V::zero();
+        for (std::size_t d = 0; d < dim; ++d) {
+          acc = accum(acc, V::sub(V::load_rows(rows, d), V::set1(center[d])));
+        }
+        V::storeu(best + i, V::vmin(acc, V::loadu(best + i)));
+      }
+    }
+    if (i < n) {
+      scalar::nearest_gather(coords, dim, ids + i, n - i, center, best + i,
+                             kPair);
+    }
+  }
+
+  // Center-blocked variants: per point, centers fold in index order, so
+  // the result is bit-identical to ncenters sequential passes while the
+  // points and best[] stream through memory only once.
+
+  static void nearest_multi_contig(const double* rows, std::size_t dim,
+                                   std::size_t n, const double* const* centers,
+                                   std::size_t ncenters, double* best) {
+    std::size_t i = 0;
+    if (dim == 2) {
+      reg c0[kCenterBlock], c1[kCenterBlock];
+      for (std::size_t c = 0; c < ncenters; ++c) {
+        c0[c] = V::set1(centers[c][0]);
+        c1[c] = V::set1(centers[c][1]);
+      }
+      for (; i + W <= n; i += W) {
+        reg x, y;
+        V::deinterleave2(rows + 2 * i, x, y);
+        reg b = V::loadu(best + i);
+        for (std::size_t c = 0; c < ncenters; ++c) {
+          const reg acc =
+              accum(accum(V::zero(), V::sub(x, c0[c])), V::sub(y, c1[c]));
+          b = V::vmin(acc, b);
+        }
+        V::storeu(best + i, b);
+      }
+    } else {
+      for (; i + W <= n; i += W) {
+        const double* p = rows + dim * i;
+        reg acc[kCenterBlock];
+        for (std::size_t c = 0; c < ncenters; ++c) acc[c] = V::zero();
+        for (std::size_t d = 0; d < dim; ++d) {
+          const reg x = V::load_strided(p + d, dim);
+          for (std::size_t c = 0; c < ncenters; ++c) {
+            acc[c] = accum(acc[c], V::sub(x, V::set1(centers[c][d])));
+          }
+        }
+        reg b = V::loadu(best + i);
+        for (std::size_t c = 0; c < ncenters; ++c) b = V::vmin(acc[c], b);
+        V::storeu(best + i, b);
+      }
+    }
+    if (i < n) {
+      scalar::nearest_multi_contig(rows + dim * i, dim, n - i, centers,
+                                   ncenters, best + i, kPair);
+    }
+  }
+
+  static void nearest_multi_gather(const double* coords, std::size_t dim,
+                                   const index_t* ids, std::size_t n,
+                                   const double* const* centers,
+                                   std::size_t ncenters, double* best) {
+    std::size_t i = 0;
+    const double* rows[W];
+    for (; i + W <= n; i += W) {
+      for (std::size_t j = 0; j < W; ++j) {
+        rows[j] = coords + static_cast<std::size_t>(ids[i + j]) * dim;
+      }
+      reg acc[kCenterBlock];
+      for (std::size_t c = 0; c < ncenters; ++c) acc[c] = V::zero();
+      for (std::size_t d = 0; d < dim; ++d) {
+        const reg x = V::load_rows(rows, d);
+        for (std::size_t c = 0; c < ncenters; ++c) {
+          acc[c] = accum(acc[c], V::sub(x, V::set1(centers[c][d])));
+        }
+      }
+      reg b = V::loadu(best + i);
+      for (std::size_t c = 0; c < ncenters; ++c) b = V::vmin(acc[c], b);
+      V::storeu(best + i, b);
+    }
+    if (i < n) {
+      scalar::nearest_multi_gather(coords, dim, ids + i, n - i, centers,
+                                   ncenters, best + i, kPair);
+    }
+  }
+};
+
+/// Vectorized first-of-ties argmax: one max-fold pass (the maximum of a
+/// NaN-free set is order-independent), then an equality scan for its
+/// first position.
+template <typename V>
+std::size_t simd_argmax(const double* values, std::size_t n) {
+  constexpr std::size_t W = V::kWidth;
+  if (n < 2 * W) return scalar::argmax(values, n);
+
+  typename V::reg m = V::loadu(values);
+  std::size_t i = W;
+  for (; i + W <= n; i += W) m = V::vmax(V::loadu(values + i), m);
+  double lanes[W];
+  V::storeu(lanes, m);
+  double mx = lanes[0];
+  for (std::size_t j = 1; j < W; ++j) {
+    if (lanes[j] > mx) mx = lanes[j];
+  }
+  for (; i < n; ++i) {
+    if (values[i] > mx) mx = values[i];
+  }
+
+  const typename V::reg mv = V::set1(mx);
+  for (i = 0; i + W <= n; i += W) {
+    const unsigned mask = V::cmpeq_mask(V::loadu(values + i), mv);
+    if (mask != 0) return i + static_cast<std::size_t>(std::countr_zero(mask));
+  }
+  for (; i < n; ++i) {
+    if (values[i] == mx) return i;
+  }
+  return scalar::argmax(values, n);  // unreachable for NaN-free input
+}
+
+/// Builds one ISA's table from the templated bodies. Single pairs do
+/// not vectorize across points, so every table shares the scalar pair
+/// kernels.
+template <typename V>
+constexpr KernelTable make_kernel_table(const char* name) {
+  using L2 = SimdKernels<V, MetricKind::L2>;
+  using L1 = SimdKernels<V, MetricKind::L1>;
+  using Li = SimdKernels<V, MetricKind::Linf>;
+  return KernelTable{
+      name,
+      {scalar::l2sq, scalar::l1, scalar::linf},
+      {&L2::nearest_gather, &L1::nearest_gather, &Li::nearest_gather},
+      {&L2::nearest_contig, &L1::nearest_contig, &Li::nearest_contig},
+      {&L2::nearest_multi_gather, &L1::nearest_multi_gather,
+       &Li::nearest_multi_gather},
+      {&L2::nearest_multi_contig, &L1::nearest_multi_contig,
+       &Li::nearest_multi_contig},
+      &simd_argmax<V>,
+  };
+}
+
+}  // namespace kc::simd

@@ -10,8 +10,8 @@ PointSet::PointSet(std::size_t n, std::size_t dim)
   if (dim == 0) throw std::invalid_argument("PointSet: dim must be positive");
 }
 
-PointSet::PointSet(std::size_t dim, std::vector<double> coords)
-    : dim_(dim), coords_(std::move(coords)) {
+PointSet::PointSet(std::size_t dim, std::span<const double> coords)
+    : dim_(dim), coords_(coords.begin(), coords.end()) {
   if (dim == 0) throw std::invalid_argument("PointSet: dim must be positive");
   if (coords_.size() % dim != 0) {
     throw std::invalid_argument(

@@ -4,13 +4,15 @@
 // the locations of the points" (§7.2) rather than materializing the
 // complete distance matrix, which would be Theta(n^2). PointSet stores
 // points row-major (point-major) so a single pair evaluation touches
-// `dim` contiguous doubles, which is what the blocked kernels in
-// distance.hpp want.
+// `dim` contiguous doubles, and the storage is 64-byte aligned so the
+// SIMD kernels' contiguous-range fast path (geom/kernels.hpp) streams
+// rows from cache-line boundaries.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <new>
 #include <span>
 #include <string>
 #include <vector>
@@ -22,6 +24,40 @@ namespace kc {
 /// room to spare, and halves the memory traffic of index arrays.
 using index_t = std::uint32_t;
 
+/// Minimal over-aligned allocator: coordinate storage starts on a cache
+/// line so the SIMD kernels' contiguous row streams begin aligned.
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) &&
+                (Alignment & (Alignment - 1)) == 0);
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// 64-byte-aligned coordinate storage (one x86 cache line / one AVX-512
+/// register).
+using CoordStorage = std::vector<double, AlignedAllocator<double, 64>>;
+
 class PointSet {
  public:
   PointSet() = default;
@@ -29,9 +65,9 @@ class PointSet {
   /// Creates an uninitialized set of `n` points in `dim` dimensions.
   PointSet(std::size_t n, std::size_t dim);
 
-  /// Creates a set from explicit row-major coordinates.
-  /// `coords.size()` must be a multiple of `dim`.
-  PointSet(std::size_t dim, std::vector<double> coords);
+  /// Creates a set from explicit row-major coordinates (one copy, into
+  /// the aligned storage). `coords.size()` must be a multiple of `dim`.
+  PointSet(std::size_t dim, std::span<const double> coords);
 
   /// Convenience constructor for tests: each inner list is one point.
   PointSet(std::initializer_list<std::initializer_list<double>> points);
@@ -73,7 +109,7 @@ class PointSet {
  private:
   std::size_t n_ = 0;
   std::size_t dim_ = 0;
-  std::vector<double> coords_;
+  CoordStorage coords_;
 };
 
 }  // namespace kc

@@ -140,6 +140,47 @@ TEST(BackendDeterminism, ShardedKernelsMatchSequentialBitForBit) {
   counters::reset();
 }
 
+TEST(BackendDeterminism, SimdKernelsMatchForcedScalarEndToEnd) {
+  // The kernel engine is one more axis that must not change simulated
+  // results: a full MRG and EIM run with the runtime-dispatched SIMD
+  // table must equal the same run with the scalar table forced (the
+  // in-process equivalent of KC_FORCE_SCALAR). Trivially true on
+  // scalar-only hosts; on AVX hosts this is the end-to-end
+  // bit-identity check.
+  const PointSet ps = test::small_gaussian_instance(5, 2000, 33);
+  const auto all = ps.all_indices();
+  const auto backend = exec::make_backend(exec::BackendKind::ThreadPool, 4);
+  const mr::SimCluster cluster(10, 0, backend);
+
+  DistanceOracle active = sharded_oracle(ps, backend.get());
+  DistanceOracle forced = sharded_oracle(ps, backend.get());
+  forced.force_kernels(simd::kernels_for(simd::IsaLevel::Scalar));
+
+  EimOptions eim_options;
+  eim_options.seed = 7;
+  const auto eim_a = eim(active, all, 5, cluster, eim_options);
+  const auto eim_b = eim(forced, all, 5, cluster, eim_options);
+  EXPECT_EQ(eim_a.centers, eim_b.centers);
+  EXPECT_EQ(eim_a.radius_comparable, eim_b.radius_comparable);
+  EXPECT_EQ(eim_a.iterations, eim_b.iterations);
+  EXPECT_EQ(TraceCounts(eim_a.trace), TraceCounts(eim_b.trace));
+
+  const PointSet mrg_ps = test::small_gaussian_instance(6, 400, 21);
+  const auto mrg_all = mrg_ps.all_indices();
+  DistanceOracle mrg_active = sharded_oracle(mrg_ps, backend.get());
+  DistanceOracle mrg_forced = sharded_oracle(mrg_ps, backend.get());
+  mrg_forced.force_kernels(simd::kernels_for(simd::IsaLevel::Scalar));
+  MrgOptions mrg_options;
+  mrg_options.seed = 99;
+  mrg_options.capacity = 60;  // multi-round regime, as in the MRG test above
+  const mr::SimCluster mrg_cluster(40, 0, backend);
+  const auto mrg_a = mrg(mrg_active, mrg_all, 5, mrg_cluster, mrg_options);
+  const auto mrg_b = mrg(mrg_forced, mrg_all, 5, mrg_cluster, mrg_options);
+  EXPECT_EQ(mrg_a.centers, mrg_b.centers);
+  EXPECT_EQ(mrg_a.radius_comparable, mrg_b.radius_comparable);
+  EXPECT_EQ(TraceCounts(mrg_a.trace), TraceCounts(mrg_b.trace));
+}
+
 TEST(BackendDeterminism, HarnessRunsIdenticalValueAcrossBackends) {
   const PointSet ps = test::small_gaussian_instance(5, 500, 13);
   const auto pool = harness::DatasetPool::wrap(ps);

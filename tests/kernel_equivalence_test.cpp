@@ -1,0 +1,306 @@
+// Kernel-equivalence suite: every vectorized kernel table must produce
+// **bit-identical** results to the scalar reference — not merely close.
+// The execution-backend determinism contract (backend_determinism_test)
+// only stays meaningful if the per-core kernels underneath it cannot
+// introduce drift, so equality here is checked on the raw bit patterns.
+//
+// Coverage: all three metrics, dims 1-16, ragged lengths around both
+// vector widths (4 and 8 lanes), gather vs contiguous id spans,
+// center-blocked multi folds vs repeated single-center passes, and the
+// vectorized argmax (including ties).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "geom/distance.hpp"
+#include "geom/kernels.hpp"
+#include "rng/rng.hpp"
+
+namespace kc {
+namespace {
+
+using simd::IsaLevel;
+using simd::KernelTable;
+
+std::vector<IsaLevel> simd_levels_available() {
+  std::vector<IsaLevel> out;
+  for (const IsaLevel level : {IsaLevel::Avx2, IsaLevel::Avx512}) {
+    if (simd::isa_compiled(level) && simd::isa_supported(level)) {
+      out.push_back(level);
+    }
+  }
+  return out;
+}
+
+/// Bitwise comparison: EXPECT_EQ on doubles would conflate +0/-0 and
+/// miss payload differences; the contract is stronger than value
+/// equality.
+void expect_bit_identical(const std::vector<double>& got,
+                          const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+              std::bit_cast<std::uint64_t>(want[i]))
+        << "element " << i << ": " << got[i] << " vs " << want[i];
+  }
+}
+
+std::vector<double> random_coords(std::size_t count, Rng& rng) {
+  std::vector<double> coords(count);
+  for (auto& c : coords) c = rng.uniform(-50.0, 50.0);
+  return coords;
+}
+
+/// best[] prefilled with a mix of kInfDist and small values, so both
+/// the "improves" and the "keeps" sides of the min-fold are exercised.
+std::vector<double> random_best(std::size_t n, Rng& rng) {
+  std::vector<double> best(n);
+  for (auto& b : best) {
+    b = rng.bernoulli(0.3) ? rng.uniform(0.0, 5.0) : kInfDist;
+  }
+  return best;
+}
+
+// Lengths straddling both vector widths (4 and 8) plus larger ragged
+// sizes; 1 exercises the pure-tail path.
+constexpr std::size_t kLengths[] = {1, 3, 4, 5, 7, 8, 9, 13, 19, 257, 1000};
+
+struct IdLayout {
+  const char* name;
+  bool contiguous;
+  std::vector<index_t> (*make)(std::size_t n, std::size_t n_points, Rng& rng);
+};
+
+const IdLayout kLayouts[] = {
+    {"iota", true,
+     [](std::size_t n, std::size_t, Rng&) {
+       std::vector<index_t> ids(n);
+       for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<index_t>(i);
+       return ids;
+     }},
+    {"iota-offset", true,
+     [](std::size_t n, std::size_t n_points, Rng&) {
+       const std::size_t off = n_points - n;  // points allocated with slack
+       std::vector<index_t> ids(n);
+       for (std::size_t i = 0; i < n; ++i) {
+         ids[i] = static_cast<index_t>(off + i);
+       }
+       return ids;
+     }},
+    {"gather", false,
+     [](std::size_t n, std::size_t n_points, Rng& rng) {
+       // Random ids with duplicates: the gather path must not assume
+       // distinct rows.
+       std::vector<index_t> ids(n);
+       for (auto& id : ids) {
+         id = static_cast<index_t>(rng.uniform_int(n_points));
+       }
+       return ids;
+     }},
+};
+
+class KernelEquivalence : public ::testing::TestWithParam<MetricKind> {};
+
+TEST_P(KernelEquivalence, UpdateNearestBitIdenticalAcrossIsas) {
+  const auto levels = simd_levels_available();
+  if (levels.empty()) GTEST_SKIP() << "no SIMD kernels on this host";
+  const KernelTable* scalar = simd::kernels_for(IsaLevel::Scalar);
+  const auto m = static_cast<std::size_t>(GetParam());
+
+  Rng rng(42);
+  for (std::size_t dim = 1; dim <= 16; ++dim) {
+    const std::size_t n_points = 1024;
+    const auto coords = random_coords(n_points * dim, rng);
+    const auto center = random_coords(dim, rng);
+    for (const std::size_t n : kLengths) {
+      for (const auto& layout : kLayouts) {
+        const auto ids = layout.make(n, n_points, rng);
+        const auto init = random_best(n, rng);
+
+        std::vector<double> want = init;
+        scalar->nearest_gather[m](coords.data(), dim, ids.data(), n,
+                                  center.data(), want.data());
+        for (const IsaLevel level : levels) {
+          const KernelTable* table = simd::kernels_for(level);
+          SCOPED_TRACE(std::string(table->name) + " dim=" +
+                       std::to_string(dim) + " n=" + std::to_string(n) + " " +
+                       layout.name);
+          std::vector<double> got = init;
+          table->nearest_gather[m](coords.data(), dim, ids.data(), n,
+                                   center.data(), got.data());
+          expect_bit_identical(got, want);
+
+          if (layout.contiguous) {
+            // The contiguous entry point must agree with the gather one
+            // on the same span (and hence with scalar).
+            const double* rows =
+                coords.data() + static_cast<std::size_t>(ids[0]) * dim;
+            got = init;
+            table->nearest_contig[m](rows, dim, n, center.data(), got.data());
+            expect_bit_identical(got, want);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, BlockedMultiMatchesRepeatedSingleCenterPasses) {
+  const auto levels = simd_levels_available();
+  if (levels.empty()) GTEST_SKIP() << "no SIMD kernels on this host";
+  const KernelTable* scalar = simd::kernels_for(IsaLevel::Scalar);
+  const auto m = static_cast<std::size_t>(GetParam());
+
+  Rng rng(77);
+  for (const std::size_t dim : {1u, 2u, 3u, 5u, 11u}) {
+    const std::size_t n_points = 512;
+    const auto coords = random_coords(n_points * dim, rng);
+    // 1..kCenterBlock+1 centers: exercises partial blocks and tiling.
+    for (std::size_t nc = 1; nc <= simd::kCenterBlock + 1; ++nc) {
+      std::vector<std::vector<double>> centers(nc);
+      std::vector<const double*> cptr(nc);
+      for (std::size_t c = 0; c < nc; ++c) {
+        centers[c] = random_coords(dim, rng);
+        cptr[c] = centers[c].data();
+      }
+      for (const std::size_t n : {1u, 7u, 8u, 9u, 33u, 400u}) {
+        const auto ids = kLayouts[2].make(n, n_points, rng);
+        const auto init = random_best(n, rng);
+
+        // Reference: scalar single-center passes, in center order.
+        std::vector<double> want = init;
+        for (std::size_t c = 0; c < nc; ++c) {
+          scalar->nearest_gather[m](coords.data(), dim, ids.data(), n,
+                                    centers[c].data(), want.data());
+        }
+        for (const IsaLevel level : levels) {
+          const KernelTable* table = simd::kernels_for(level);
+          SCOPED_TRACE(std::string(table->name) + " dim=" +
+                       std::to_string(dim) + " nc=" + std::to_string(nc) +
+                       " n=" + std::to_string(n));
+          // Tile like DistanceOracle::update_nearest_multi does.
+          std::vector<double> got = init;
+          for (std::size_t cb = 0; cb < nc; cb += simd::kCenterBlock) {
+            const std::size_t block = std::min(simd::kCenterBlock, nc - cb);
+            table->nearest_multi_gather[m](coords.data(), dim, ids.data(), n,
+                                           cptr.data() + cb, block,
+                                           got.data());
+          }
+          expect_bit_identical(got, want);
+
+          // Contiguous blocked variant over an iota span.
+          const auto iota = kLayouts[0].make(n, n_points, rng);
+          std::vector<double> want_c = init;
+          for (std::size_t c = 0; c < nc; ++c) {
+            scalar->nearest_gather[m](coords.data(), dim, iota.data(), n,
+                                      centers[c].data(), want_c.data());
+          }
+          got = init;
+          for (std::size_t cb = 0; cb < nc; cb += simd::kCenterBlock) {
+            const std::size_t block = std::min(simd::kCenterBlock, nc - cb);
+            table->nearest_multi_contig[m](coords.data(), dim, n,
+                                           cptr.data() + cb, block,
+                                           got.data());
+          }
+          expect_bit_identical(got, want_c);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, KernelEquivalence,
+                         ::testing::Values(MetricKind::L2, MetricKind::L1,
+                                           MetricKind::Linf),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(KernelEquivalenceArgmax, MatchesScalarIncludingTies) {
+  const auto levels = simd_levels_available();
+  if (levels.empty()) GTEST_SKIP() << "no SIMD kernels on this host";
+  const KernelTable* scalar = simd::kernels_for(IsaLevel::Scalar);
+
+  Rng rng(99);
+  std::vector<std::vector<double>> cases;
+  cases.push_back({3.0});
+  cases.push_back({1.0, 5.0, 5.0, 2.0});              // tie: first wins
+  cases.push_back(std::vector<double>(64, 7.25));     // all equal
+  cases.push_back({kInfDist, 1.0, kInfDist});         // infinities
+  for (const std::size_t n : {5u, 8u, 9u, 16u, 17u, 100u, 1000u}) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.uniform(0.0, 10.0);
+    // Plant a duplicated maximum somewhere in the middle and end.
+    const double mx = 11.0;
+    v[n / 3] = mx;
+    v[n - 1] = mx;
+    cases.push_back(std::move(v));
+  }
+
+  for (const auto& values : cases) {
+    const std::size_t want = scalar->argmax(values.data(), values.size());
+    for (const IsaLevel level : levels) {
+      const KernelTable* table = simd::kernels_for(level);
+      SCOPED_TRACE(std::string(table->name) + " n=" +
+                   std::to_string(values.size()));
+      EXPECT_EQ(table->argmax(values.data(), values.size()), want);
+    }
+  }
+}
+
+TEST(KernelEquivalenceOracle, ForcedScalarOracleMatchesActiveBitForBit) {
+  // Oracle-level A/B: the same scans through force_kernels(scalar) and
+  // through the process-default table must agree bitwise. (When the
+  // process default *is* scalar — KC_FORCE_SCALAR or a scalar-only
+  // host — this degenerates to a self-check, which is fine.)
+  Rng rng(7);
+  PointSet ps(777, 3);
+  for (index_t i = 0; i < 777; ++i) {
+    for (auto& c : ps.mutable_point(i)) c = rng.uniform(0.0, 100.0);
+  }
+  const auto ids = ps.all_indices();
+  const std::vector<index_t> centers{5, 99, 311, 640, 12};
+
+  for (const auto kind : {MetricKind::L2, MetricKind::L1, MetricKind::Linf}) {
+    DistanceOracle active(ps, kind);
+    DistanceOracle forced(ps, kind);
+    forced.force_kernels(simd::kernels_for(IsaLevel::Scalar));
+
+    std::vector<double> a(ids.size(), kInfDist);
+    std::vector<double> b(ids.size(), kInfDist);
+    active.update_nearest(ids, 3, a);
+    forced.update_nearest(ids, 3, b);
+    active.update_nearest_multi(ids, centers, a);
+    forced.update_nearest_multi(ids, centers, b);
+    expect_bit_identical(a, b);
+
+    EXPECT_EQ(active.pairwise_comparable(centers),
+              forced.pairwise_comparable(centers));
+  }
+}
+
+TEST(KernelDispatch, ActiveLevelIsCompiledAndSupported) {
+  const IsaLevel level = simd::active_level();
+  EXPECT_TRUE(simd::isa_compiled(level));
+  EXPECT_TRUE(simd::isa_supported(level));
+  EXPECT_EQ(simd::active_kernels().name, to_string(level));
+  if (simd::force_scalar_requested()) {
+    EXPECT_EQ(level, IsaLevel::Scalar);
+  }
+}
+
+TEST(KernelDispatch, ContiguousRunDetection) {
+  const std::vector<index_t> iota{4, 5, 6, 7};
+  const std::vector<index_t> hole{4, 5, 7, 8};
+  const std::vector<index_t> rev{7, 6, 5, 4};
+  EXPECT_TRUE(simd::is_contiguous_run(iota.data(), iota.size()));
+  EXPECT_TRUE(simd::is_contiguous_run(iota.data(), 1));
+  EXPECT_TRUE(simd::is_contiguous_run(nullptr, 0));
+  EXPECT_FALSE(simd::is_contiguous_run(hole.data(), hole.size()));
+  EXPECT_FALSE(simd::is_contiguous_run(rev.data(), rev.size()));
+}
+
+}  // namespace
+}  // namespace kc
