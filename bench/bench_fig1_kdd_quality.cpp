@@ -21,6 +21,7 @@ using namespace kcb;
 void run(kc::cli::Args& args) {
   BenchOptions options = parse_common(args, /*default_graphs=*/1,
                                       /*default_runs=*/2, 1, 4);
+  consume_algo_filter(args, options);
   const auto kdd_file = args.str("kdd-file");
   const std::size_t n =
       args.size("n", options.pick(20'000, 100'000, kc::data::kKddCupRows));

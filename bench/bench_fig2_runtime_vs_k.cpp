@@ -16,6 +16,7 @@ using namespace kcb;
 void run(kc::cli::Args& args) {
   BenchOptions options = parse_common(args, /*default_graphs=*/1,
                                       /*default_runs=*/1);
+  consume_algo_filter(args, options);
   const std::size_t n_gau =
       args.size("n-gau", options.pick(50'000, 200'000, 1'000'000));
   const std::size_t n_unif =

@@ -18,6 +18,7 @@ using namespace kcb;
 void run(kc::cli::Args& args) {
   BenchOptions options = parse_common(args, /*default_graphs=*/1,
                                       /*default_runs=*/1);
+  consume_algo_filter(args, options);
   std::vector<std::size_t> ns =
       args.size_list("n", options.quick
                               ? std::vector<std::size_t>{10'000, 25'000, 50'000}

@@ -15,6 +15,7 @@ using namespace kcb;
 
 void run(kc::cli::Args& args) {
   BenchOptions options = parse_common(args);
+  consume_algo_filter(args, options);
   const std::size_t n = args.size("n", options.pick(10'000, 50'000, 200'000));
   const std::size_t k = args.size("k", 25);
   reject_unknown_flags(args);

@@ -13,6 +13,7 @@ using namespace kcb;
 
 void run(kc::cli::Args& args) {
   BenchOptions options = parse_common(args);
+  consume_algo_filter(args, options);
   const std::size_t n = args.size("n", options.pick(20'000, 100'000, 200'000));
   const auto ks = args.size_list("k", paper_k_sweep());
   reject_unknown_flags(args);

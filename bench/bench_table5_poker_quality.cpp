@@ -19,6 +19,7 @@ void run(kc::cli::Args& args) {
   // Real data protocol: four runs averaged (§7.3).
   BenchOptions options = parse_common(args, /*default_graphs=*/1,
                                       /*default_runs=*/4, 1, 4);
+  consume_algo_filter(args, options);
   const auto poker_file = args.str("poker-file");
   const std::size_t n =
       args.size("n", options.quick ? 5'000 : kc::data::kPokerHandRows);

@@ -23,10 +23,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "cli/algos.hpp"
 #include "cli/args.hpp"
 #include "core/kcenter.hpp"
 #include "harness/experiment.hpp"
@@ -52,6 +54,12 @@ struct BenchOptions {
   std::optional<std::string> plot;  ///< gnuplot basename (--plot=NAME)
   kc::exec::BackendKind exec = kc::exec::BackendKind::Sequential;
   int threads = 0;  ///< 0 = backend default
+  /// Single-algorithm restriction of the standard panel, set by
+  /// consume_algo_filter() (empty = the full MRG/EIM/GON panel).
+  /// Not parsed by parse_common: only benches whose panel supports the
+  /// filter consume --algo, so the others refuse it as an unknown flag
+  /// instead of silently ignoring it.
+  std::string algo;
 
   /// The backend --exec/--threads describe: one instance for the whole
   /// bench run, so a thread pool's workers persist across every round
@@ -102,14 +110,16 @@ inline BenchOptions parse_common(kc::cli::Args& args, int default_graphs = 1,
   return options;
 }
 
-/// Rejects typo'd flags: every bench calls this after consuming its own.
-inline void reject_unknown_flags(kc::cli::Args& args) {
-  const auto leftover = args.unconsumed();
-  if (leftover.empty()) return;
-  std::fprintf(stderr, "unknown flag(s):");
-  for (const auto& flag : leftover) std::fprintf(stderr, " --%s", flag.c_str());
-  std::fprintf(stderr, "\n");
-  std::exit(2);
+// Typo'd-flag rejection is shared with the examples: every bench calls
+// cli::reject_unknown_flags(args) after consuming its own flags (found
+// by ADL since Args lives in kc::cli).
+
+/// Consumes --algo= (registry-validated) for benches whose panel
+/// supports the single-algorithm filter — i.e. those that run
+/// standard_algos(). Call between parse_common and
+/// reject_unknown_flags.
+inline void consume_algo_filter(kc::cli::Args& args, BenchOptions& options) {
+  options.algo = kc::cli::algo_kind(args, /*fallback=*/"");
 }
 
 inline void print_banner(const std::string& experiment,
@@ -128,11 +138,24 @@ inline void print_banner(const std::string& experiment,
 
 /// The three standard algorithm configurations of the experiments
 /// (§7.1), in the paper's column order: MRG, EIM, GON baseline.
+/// --algo=NAME restricts the panel to one of those three; other
+/// registry names are rejected, because the paper benches key logic
+/// (labels, EIM round columns, theory formulas) off the panel kinds.
 inline std::vector<AlgoConfig> standard_algos(const BenchOptions& options) {
   std::vector<AlgoConfig> algos(3);
   algos[0].kind = AlgoKind::MRG;
   algos[1].kind = AlgoKind::EIM;
   algos[2].kind = AlgoKind::GON;
+  if (!options.algo.empty()) {
+    std::erase_if(algos, [&options](const AlgoConfig& a) {
+      return options.algo != std::string(kc::harness::registry_name(a.kind));
+    });
+    if (algos.empty()) {
+      throw std::invalid_argument(
+          "--algo=" + options.algo +
+          ": not part of this bench's panel (use gon, mrg or eim)");
+    }
+  }
   for (auto& a : algos) {
     a.machines = options.machines;
     a.exec = options.exec;
@@ -259,11 +282,13 @@ inline void runtime_series(const std::string& title, const DatasetPool& pool,
   }
 }
 
-/// Standard main wrapper: uniform error handling for all benches.
+/// Standard main wrapper: uniform error handling for all benches, plus
+/// the shared --list-algos flag (print the algorithm registry, exit 0).
 inline int bench_main(int argc, char** argv,
                       const std::function<void(kc::cli::Args&)>& body) {
   try {
     kc::cli::Args args(argc, argv);
+    if (kc::cli::list_algos(args)) return 0;
     body(args);
     return 0;
   } catch (const std::exception& e) {

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     const std::size_t depots = args.size("depots", 12);
     const int machines = static_cast<int>(args.integer("machines", 50));
     const std::uint64_t seed = args.size("seed", 11);
+    kc::cli::reject_unknown_flags(args);
 
     std::printf(
         "depot placement: %zu addresses in ~%zu towns, choosing %zu depots\n\n",
@@ -43,14 +44,19 @@ int main(int argc, char** argv) {
     const kc::DistanceOracle oracle(map);
     const auto all = map.all_indices();
 
-    const kc::mr::SimCluster cluster(machines);
-    const kc::MrgResult plan = kc::mrg(oracle, all, depots, cluster);
+    kc::api::SolveRequest request;
+    request.points = &map;
+    request.k = depots;
+    request.algorithm = "mrg";
+    request.seed = seed;
+    request.exec.machines = machines;
+    kc::api::Solver solver;
+    const kc::api::SolveReport plan = solver.solve(request);
 
-    const auto quality = kc::eval::covering_radius(oracle, all, plan.centers);
     std::printf("worst-case drive to nearest depot: %s km\n",
-                kc::harness::format_sig(quality.radius).c_str());
-    std::printf("MapReduce rounds used: %d (guaranteed factor %d)\n\n",
-                plan.trace.num_rounds(), plan.guaranteed_factor());
+                kc::harness::format_sig(plan.value).c_str());
+    std::printf("MapReduce rounds used: %d (guaranteed factor %s)\n\n",
+                plan.rounds, plan.guarantee.c_str());
 
     const auto stats = kc::eval::cluster_stats(oracle, all, plan.centers);
     kc::harness::Table table(

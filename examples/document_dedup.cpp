@@ -19,7 +19,6 @@
 
 #include "cli/args.hpp"
 #include "core/kcenter.hpp"
-#include "harness/experiment.hpp"
 #include "harness/format.hpp"
 #include "harness/table.hpp"
 
@@ -66,6 +65,7 @@ int main(int argc, char** argv) {
     const std::size_t reps = args.size("reps", 30);
     const std::size_t dims = args.size("dims", 64);
     const std::uint64_t seed = args.size("seed", 3);
+    kc::cli::reject_unknown_flags(args);
 
     std::printf(
         "document dedup: %zu documents, %zu latent topics, "
@@ -80,17 +80,20 @@ int main(int argc, char** argv) {
     kc::harness::Table table(
         {"method", "max dissimilarity", "mean cluster radius", "time (s)"});
 
-    for (const auto kind :
-         {kc::harness::AlgoKind::GON, kc::harness::AlgoKind::MRG}) {
-      kc::harness::AlgoConfig config;
-      config.kind = kind;
-      const auto run = kc::harness::run_algorithm(config, corpus, reps, seed);
+    kc::api::SolveRequest request;
+    request.points = &corpus;
+    request.k = reps;
+    request.seed = seed;
+    kc::api::Solver solver;
+    for (const char* algo : {"gon", "mrg"}) {
+      request.algorithm = algo;
+      const kc::api::SolveReport report = solver.solve(request);
       const auto stats = kc::eval::cluster_stats(
-          oracle, all, std::span<const kc::index_t>(run.centers));
-      table.add_row({std::string(kc::harness::to_string(kind)),
-                     kc::harness::format_sig(run.value),
+          oracle, all, std::span<const kc::index_t>(report.centers));
+      table.add_row({report.algorithm,
+                     kc::harness::format_sig(report.value),
                      kc::harness::format_sig(stats.mean_radius),
-                     kc::harness::format_seconds(run.sim_seconds)});
+                     kc::harness::format_seconds(report.sim_seconds)});
     }
     std::printf("%s\n", table.to_string().c_str());
 

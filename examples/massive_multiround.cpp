@@ -9,7 +9,9 @@
 // adds 2 to the approximation guarantee (Lemma 3). This example forces
 // that regime with an artificially small per-machine capacity, prints
 // the full round trace, and compares against the 2-round run with
-// adequate capacity.
+// adequate capacity. All three regimes — including the external-memory
+// disjoint-union mode, registered as "mrg-du" — run through the
+// kc::api::Solver facade: only the options variant changes per run.
 #include <cstdio>
 #include <exception>
 
@@ -20,18 +22,15 @@
 
 namespace {
 
-void report(const char* title, const kc::MrgResult& result,
-            const kc::DistanceOracle& oracle,
-            std::span<const kc::index_t> all) {
-  const auto quality = kc::eval::covering_radius(oracle, all, result.centers);
+void report_run(const char* title, const kc::api::SolveReport& report) {
   std::printf("%s\n", title);
-  std::printf("%s", result.trace.to_string().c_str());
+  std::printf("%s", report.trace.to_string().c_str());
   std::printf(
-      "  -> %d reduce round(s), guaranteed factor %d, value %s, "
+      "  -> %d reduce round(s), guaranteed factor %s, value %s, "
       "simulated time %ss\n\n",
-      result.reduce_rounds, result.guaranteed_factor(),
-      kc::harness::format_sig(quality.radius).c_str(),
-      kc::harness::format_seconds(result.trace.simulated_seconds()).c_str());
+      report.iterations, report.guarantee.c_str(),
+      kc::harness::format_sig(report.value).c_str(),
+      kc::harness::format_seconds(report.sim_seconds).c_str());
 }
 
 }  // namespace
@@ -44,6 +43,7 @@ int main(int argc, char** argv) {
     const int machines = static_cast<int>(args.integer("machines", 64));
     const std::size_t capacity = args.size("capacity", 8192);
     const std::uint64_t seed = args.size("seed", 5);
+    kc::cli::reject_unknown_flags(args);
 
     std::printf(
         "multi-round MRG demo: n=%zu, k=%zu, m=%d\n"
@@ -53,29 +53,30 @@ int main(int argc, char** argv) {
     kc::Rng rng(seed);
     const kc::PointSet data = kc::data::generate_gau(
         n, /*clusters=*/k, /*dim=*/2, /*side=*/100.0, /*sigma=*/0.1, rng);
-    const kc::DistanceOracle oracle(data);
-    const auto all = data.all_indices();
-    const kc::mr::SimCluster cluster(machines);
+
+    kc::api::SolveRequest request;
+    request.points = &data;
+    request.k = k;
+    request.seed = seed;
+    request.exec.machines = machines;
+    kc::api::Solver solver;
 
     // Generous capacity: the classic 2-round, 4-approximation regime.
-    {
-      kc::MrgOptions options;  // capacity auto-derived: max(n/m, k*m)
-      options.seed = seed;
-      report("[1] capacity >= k*m: the 2-round regime",
-             kc::mrg(oracle, all, k, cluster, options), oracle, all);
-    }
+    request.algorithm = "mrg";  // capacity auto-derived: max(n/m, k*m)
+    report_run("[1] capacity >= k*m: the 2-round regime",
+               solver.solve(request));
 
     // Tight capacity: k*m exceeds c, so the sample itself must be
     // re-clustered over multiple rounds.
     {
       kc::MrgOptions options;
       options.capacity = capacity;
-      options.seed = seed;
+      request.options = options;
       char title[128];
       std::snprintf(title, sizeof(title),
                     "[2] capacity = %zu < k*m: the multi-round regime",
                     capacity);
-      report(title, kc::mrg(oracle, all, k, cluster, options), oracle, all);
+      report_run(title, solver.solve(request));
     }
 
     // Beyond the paper's scope (§3.2): the data exceeds even the
@@ -83,18 +84,16 @@ int main(int argc, char** argv) {
     // disjoint chunks and a final pass clusters the union of their
     // solutions (see core/disjoint_union.hpp for the 6-approx argument).
     {
+      request.algorithm = "mrg-du";
       kc::DisjointUnionOptions options;
       options.instances = 4;
-      options.mrg.seed = seed;
-      const auto result =
-          kc::mrg_disjoint_union(oracle, all, k, cluster, options);
-      const auto quality =
-          kc::eval::covering_radius(oracle, all, result.centers);
+      request.options = options;
+      const kc::api::SolveReport result = solver.solve(request);
       std::printf(
           "[3] external-memory mode: %zu disjoint MRG instances + union "
-          "pass\n    -> guaranteed factor %d, value %s\n\n",
-          options.instances, result.guaranteed_factor,
-          kc::harness::format_sig(quality.radius).c_str());
+          "pass\n    -> guaranteed factor %s, value %s\n\n",
+          options.instances, result.guarantee.c_str(),
+          kc::harness::format_sig(result.value).c_str());
     }
 
     std::printf(

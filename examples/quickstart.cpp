@@ -1,31 +1,35 @@
 // Quickstart: generate clustered data, run all three algorithm
-// families, and compare solution quality and (simulated) runtime.
+// families through the kc::api::Solver facade, and compare solution
+// quality and (simulated) runtime.
 //
 //   ./examples/quickstart [--n=200000] [--k=25] [--clusters=25]
-//                         [--machines=50] [--seed=7]
+//                         [--machines=50] [--seed=7] [--list-algos]
 //
-// This is the 60-second tour of the library: the sequential baseline
-// GON (2-approximation), the paper's 2-round MapReduce Gonzalez MRG
-// (4-approximation), and the iterative-sampling EIM scheme
-// (10-approximation w.s.p.), all on the same GAU data set.
+// This is the 60-second tour of the library: one SolveRequest per
+// algorithm name, one Solver dispatching through the registry, one
+// SolveReport per run — the sequential baseline GON (2-approximation),
+// the paper's 2-round MapReduce Gonzalez MRG (4-approximation), and
+// the iterative-sampling EIM scheme (10-approximation w.s.p.), all on
+// the same GAU data set.
 #include <cstdio>
 #include <exception>
 
+#include "cli/algos.hpp"
 #include "cli/args.hpp"
 #include "core/kcenter.hpp"
-#include "eval/lower_bound.hpp"
-#include "harness/experiment.hpp"
 #include "harness/format.hpp"
 #include "harness/table.hpp"
 
 int main(int argc, char** argv) {
   try {
     kc::cli::Args args(argc, argv);
+    if (kc::cli::list_algos(args)) return 0;
     const std::size_t n = args.size("n", 200'000);
     const std::size_t k = args.size("k", 25);
     const std::size_t clusters = args.size("clusters", 25);
     const int machines = static_cast<int>(args.integer("machines", 50));
     const std::uint64_t seed = args.size("seed", 7);
+    kc::cli::reject_unknown_flags(args);
 
     std::printf("k-center quickstart: GAU data, n=%zu, k'=%zu, k=%zu, m=%d\n\n",
                 n, clusters, k, machines);
@@ -34,38 +38,33 @@ int main(int argc, char** argv) {
     const kc::PointSet data =
         kc::data::generate_gau(n, clusters, /*dim=*/2, /*side=*/100.0,
                                /*sigma=*/0.1, rng);
-    const kc::DistanceOracle oracle(data);
-    const auto all = data.all_indices();
 
+    // One request template; only the algorithm name varies per row.
+    kc::api::SolveRequest request;
+    request.points = &data;
+    request.k = k;
+    request.seed = seed;
+    request.exec.machines = machines;
+
+    kc::api::Solver solver;  // one backend bound across all three runs
     kc::harness::Table table(
-        {"algorithm", "value", "time (s)", "MR rounds", "guarantee"});
+        {"algorithm", "value", "time (s)", "MR rounds", "guarantee (x OPT)"});
 
-    for (const auto kind : {kc::harness::AlgoKind::GON,
-                            kc::harness::AlgoKind::MRG,
-                            kc::harness::AlgoKind::EIM}) {
-      kc::harness::AlgoConfig config;
-      config.kind = kind;
-      config.machines = machines;
-      const auto run = kc::harness::run_algorithm(config, data, k, seed);
-
-      std::string guarantee;
-      switch (kind) {
-        case kc::harness::AlgoKind::GON: guarantee = "2-approx"; break;
-        case kc::harness::AlgoKind::MRG: guarantee = "4-approx (2 rounds)"; break;
-        case kc::harness::AlgoKind::EIM:
-          guarantee = run.eim_sampled ? "10-approx (w.s.p.)" : "2-approx (no sampling)";
-          break;
-      }
-      table.add_row({std::string(kc::harness::to_string(kind)),
-                     kc::harness::format_sig(run.value),
-                     kc::harness::format_seconds(run.sim_seconds),
-                     std::to_string(run.map_reduce_rounds),
-                     guarantee});
+    for (const char* algo : {"gon", "mrg", "eim"}) {
+      request.algorithm = algo;
+      const kc::api::SolveReport report = solver.solve(request);
+      table.add_row({report.algorithm,
+                     kc::harness::format_sig(report.value),
+                     kc::harness::format_seconds(report.sim_seconds),
+                     std::to_string(report.rounds),
+                     report.guarantee});
     }
 
     std::printf("%s\n", table.to_string().c_str());
 
-    const double lb = kc::eval::gonzalez_lower_bound(oracle, all, k);
+    const kc::DistanceOracle oracle(data);
+    const double lb =
+        kc::eval::gonzalez_lower_bound(oracle, data.all_indices(), k);
     std::printf("certified lower bound on OPT: %s\n",
                 kc::harness::format_sig(lb).c_str());
     std::printf("(so every value above is within value/LB of optimal)\n");

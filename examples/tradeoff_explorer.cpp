@@ -15,7 +15,6 @@
 
 #include "cli/args.hpp"
 #include "core/kcenter.hpp"
-#include "harness/experiment.hpp"
 #include "harness/format.hpp"
 #include "harness/table.hpp"
 
@@ -28,6 +27,7 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = args.size("seed", 9);
     const std::vector<std::size_t> phis =
         args.size_list("phis", {1, 2, 4, 6, 8, 12});
+    kc::cli::reject_unknown_flags(args);
 
     std::printf(
         "EIM phi trade-off: GAU n=%zu, k'=%zu, k=%zu "
@@ -38,18 +38,24 @@ int main(int argc, char** argv) {
     const kc::PointSet data = kc::data::generate_gau(
         n, clusters, /*dim=*/2, /*side=*/100.0, /*sigma=*/0.1, rng);
 
+    kc::api::SolveRequest request;
+    request.points = &data;
+    request.k = k;
+    request.seed = seed;
+    kc::api::Solver solver;
+
     // Baseline for context.
-    kc::harness::AlgoConfig gon;
-    gon.kind = kc::harness::AlgoKind::GON;
-    const auto gon_run = kc::harness::run_algorithm(gon, data, k, seed);
+    request.algorithm = "gon";
+    const kc::api::SolveReport gon_run = solver.solve(request);
 
     kc::harness::Table table({"phi", "value", "vs GON", "sim time (s)",
                               "iterations", "sample |C|", "provable?"});
+    request.algorithm = "eim";
     for (const std::size_t phi : phis) {
-      kc::harness::AlgoConfig config;
-      config.kind = kc::harness::AlgoKind::EIM;
-      config.eim.phi = static_cast<double>(phi);
-      const auto run = kc::harness::run_algorithm(config, data, k, seed);
+      kc::EimOptions options;
+      options.phi = static_cast<double>(phi);
+      request.options = options;
+      const kc::api::SolveReport run = solver.solve(request);
       char rel[32];
       std::snprintf(rel, sizeof(rel), "%+.1f%%",
                     100.0 * (run.value - gon_run.value) / gon_run.value);
@@ -57,7 +63,7 @@ int main(int argc, char** argv) {
                      kc::harness::format_sig(run.value),
                      rel,
                      kc::harness::format_seconds(run.sim_seconds),
-                     std::to_string(run.eim_iterations),
+                     std::to_string(run.iterations),
                      kc::harness::format_count(run.final_sample_size),
                      phi > 5.15 ? "yes" : "no"});
     }

@@ -1,0 +1,15 @@
+#include "api/error.hpp"
+
+namespace kc::api {
+
+std::string_view to_string(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::BadRequest: return "bad-request";
+    case ErrorKind::UnsupportedBackend: return "unsupported-backend";
+    case ErrorKind::BudgetExceeded: return "budget-exceeded";
+    case ErrorKind::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace kc::api

@@ -1,0 +1,50 @@
+// SolveReport: the single result contract of the solve facade.
+//
+// One struct carries every field the divergent per-algorithm result
+// subtypes (GonzalezResult, MrgResult, EimResult, ...) used to expose,
+// plus the offline-evaluated solution value and the execution facts
+// (effective backend, kernel ISA, timings) callers previously had to
+// assemble by hand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point_set.hpp"
+#include "mapreduce/trace.hpp"
+
+namespace kc::api {
+
+struct SolveReport {
+  std::string algorithm;  ///< canonical registry name that ran
+
+  // ---- The solution.
+  std::vector<index_t> centers;
+  /// Covering radius over the subset the final sequential solver saw,
+  /// in comparable scale (squared distance for L2).
+  double radius_comparable = 0.0;
+  /// Covering radius over the *whole* input in reported scale — the
+  /// paper's solution value, evaluated offline and not charged to the
+  /// algorithm's work counters.
+  double value = 0.0;
+  /// Worst-case approximation factor guaranteed for this particular
+  /// run, e.g. "2", "4", "10 (w.s.p.)".
+  std::string guarantee;
+
+  // ---- Round structure and work.
+  int rounds = 0;      ///< MapReduce rounds executed (0 = sequential path)
+  int iterations = 0;  ///< MRG reduce rounds / EIM main-loop iterations
+  bool sampled = false;               ///< EIM: false = degenerated to GON
+  std::size_t final_sample_size = 0;  ///< EIM: |C| at loop exit
+  std::uint64_t dist_evals = 0;       ///< distance evaluations charged
+  mr::JobTrace trace;                 ///< per-round detail (empty for GON/HS)
+
+  // ---- Timings and execution facts.
+  double sim_seconds = 0.0;   ///< simulated parallel time (== wall for seq.)
+  double wall_seconds = 0.0;  ///< host wall time of the algorithm run
+  std::string backend;        ///< effective execution backend name
+  std::string kernel_isa;     ///< effective SIMD kernel table (scalar/avx2/...)
+};
+
+}  // namespace kc::api

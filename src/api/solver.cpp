@@ -1,0 +1,175 @@
+#include "api/solver.hpp"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "api/registry.hpp"
+#include "eval/evaluate.hpp"
+#include "geom/counters.hpp"
+#include "geom/kernels.hpp"
+#include "mapreduce/cluster.hpp"
+
+namespace kc::api {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Validates everything checkable before any work happens; returns the
+/// registry entry the request names.
+const AlgorithmInfo& validate(const SolveRequest& request) {
+  if (request.points == nullptr) {
+    throw Error(ErrorKind::BadRequest, "request has no point set");
+  }
+  if (request.points->size() == 0) {
+    throw Error(ErrorKind::BadRequest, "point set is empty");
+  }
+  if (request.k == 0) {
+    throw Error(ErrorKind::BadRequest, "k must be at least 1");
+  }
+  const AlgorithmInfo* info = registry().find(request.algorithm);
+  if (info == nullptr) {
+    throw Error(ErrorKind::BadRequest,
+                "unknown algorithm '" + request.algorithm + "' (known: " +
+                    known_algorithms() + ")");
+  }
+  if (request.options.index() != 0 &&
+      request.options.index() != info->options_index) {
+    throw Error(ErrorKind::BadRequest,
+                "options variant does not match algorithm '" + info->name +
+                    "'");
+  }
+  if (request.exec.threads < 0) {
+    throw Error(ErrorKind::BadRequest, "threads must be non-negative");
+  }
+  if (info->uses_cluster && request.exec.machines < 1) {
+    throw Error(ErrorKind::BadRequest,
+                "machines must be at least 1 for algorithm '" + info->name +
+                    "'");
+  }
+  return *info;
+}
+
+/// Wraps the user progress callback with the budget check. Returns a
+/// null function when neither is requested so the loops skip the call.
+[[nodiscard]] ProgressFn make_progress_hook(const SolveRequest& request) {
+  if (!request.progress && request.max_dist_evals == 0) return nullptr;
+  const std::uint64_t budget = request.max_dist_evals;
+  const ProgressFn user = request.progress;
+  return [budget, user](const ProgressEvent& event) {
+    if (budget > 0 && event.dist_evals > budget) {
+      throw Error(ErrorKind::BudgetExceeded,
+                  std::string(event.algorithm) + ": " +
+                      std::to_string(event.dist_evals) +
+                      " distance evaluations exceed budget " +
+                      std::to_string(budget));
+    }
+    if (user) user(event);
+  };
+}
+
+}  // namespace
+
+Solver::Solver(std::shared_ptr<exec::ExecutionBackend> backend)
+    : pinned_(std::move(backend)) {
+  if (pinned_ == nullptr) {
+    throw Error(ErrorKind::BadRequest, "Solver: pinned backend must be non-null");
+  }
+}
+
+std::shared_ptr<exec::ExecutionBackend> Solver::resolve_backend(
+    const SolveRequest& request) {
+  if (request.exec.backend != nullptr) return request.exec.backend;
+  if (pinned_ != nullptr) return pinned_;
+  if (cached_ != nullptr && cached_kind_ == request.exec.kind &&
+      cached_threads_ == request.exec.threads) {
+    return cached_;
+  }
+  if (!exec::backend_available(request.exec.kind)) {
+    throw Error(ErrorKind::UnsupportedBackend,
+                "this build cannot provide backend '" +
+                    std::string(exec::to_string(request.exec.kind)) + "'");
+  }
+  try {
+    cached_ = exec::make_backend(request.exec.kind, request.exec.threads);
+  } catch (const std::exception& e) {
+    throw Error(ErrorKind::UnsupportedBackend, e.what());
+  }
+  cached_kind_ = request.exec.kind;
+  cached_threads_ = request.exec.threads;
+  return cached_;
+}
+
+SolveReport Solver::solve(const SolveRequest& request) {
+  const AlgorithmInfo& info = validate(request);
+  if (request.cancel.cancelled()) {
+    throw Error(ErrorKind::Cancelled, "request cancelled before dispatch");
+  }
+
+  SolveContext context;
+  context.request = &request;
+  context.backend = resolve_backend(request);
+  last_ = context.backend;
+  context.progress = make_progress_hook(request);
+  context.progress_overrides = static_cast<bool>(request.progress);
+  context.cancel = request.cancel;
+
+  DistanceOracle oracle(*request.points, request.metric);
+  oracle.bind_executor(context.backend.get());
+  context.oracle = &oracle;
+  const std::vector<index_t> all = request.points->all_indices();
+  context.points = all;
+
+  std::optional<mr::SimCluster> cluster;
+  if (info.uses_cluster) {
+    cluster.emplace(request.exec.machines, /*capacity_items=*/0,
+                    context.backend);
+    context.cluster = &*cluster;
+  }
+
+  SolveReport report;
+  report.algorithm = info.name;
+  report.backend = std::string(context.backend->name());
+  report.kernel_isa = std::string(simd::to_string(simd::active_level()));
+
+  const WorkScope work;
+  const auto start = Clock::now();
+  try {
+    info.run(context, report);
+  } catch (const Error&) {
+    throw;
+  } catch (const CancelledError& e) {
+    throw Error(ErrorKind::Cancelled, e.what());
+  } catch (const std::invalid_argument& e) {
+    throw Error(ErrorKind::BadRequest, e.what());
+  } catch (const std::length_error& e) {
+    throw Error(ErrorKind::BadRequest, e.what());
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Cluster algorithms take their counts and simulated time from the
+  // trace (attributed per machine task, backend-invariant). Sequential
+  // ones ran entirely on this thread, so the WorkScope covers them and
+  // simulated time is wall time — sampled before the offline value
+  // evaluation below, which is not charged to the algorithm.
+  if (!info.uses_cluster) {
+    report.dist_evals = work.elapsed().distance_evals;
+    report.sim_seconds = report.wall_seconds;
+  }
+  if (request.max_dist_evals > 0 &&
+      report.dist_evals > request.max_dist_evals) {
+    throw Error(ErrorKind::BudgetExceeded,
+                info.name + ": " + std::to_string(report.dist_evals) +
+                    " distance evaluations exceed budget " +
+                    std::to_string(request.max_dist_evals));
+  }
+
+  report.value = eval::covering_radius(oracle, all, report.centers).radius;
+  return report;
+}
+
+}  // namespace kc::api

@@ -1,0 +1,32 @@
+#include "cli/algos.hpp"
+
+#include <stdexcept>
+
+#include "api/registry.hpp"
+
+namespace kc::cli {
+
+std::string algo_kind(Args& args, const std::string& fallback) {
+  const auto value = args.str("algo");
+  const std::string requested = (value && !value->empty()) ? *value : fallback;
+  if (requested.empty()) return requested;  // empty fallback = "no choice"
+  const api::AlgorithmInfo* info = api::registry().find(requested);
+  if (info == nullptr) {
+    throw std::invalid_argument("--algo: unknown algorithm '" + requested +
+                                "' (known: " + api::known_algorithms() + ")");
+  }
+  return info->name;
+}
+
+bool list_algos(Args& args, std::FILE* out) {
+  if (!args.flag("list-algos")) return false;
+  std::fprintf(out, "registered algorithms:\n");
+  for (const auto& algo : api::registry().algorithms()) {
+    std::string name = algo.name;
+    for (const auto& alias : algo.aliases) name += ", " + alias;
+    std::fprintf(out, "  %-28s %s\n", name.c_str(), algo.description.c_str());
+  }
+  return true;
+}
+
+}  // namespace kc::cli

@@ -1,0 +1,30 @@
+// Registry-aware command-line helpers (--algo=, --list-algos).
+//
+// Kept separate from cli/args.hpp on purpose: Args is a leaf utility
+// with no knowledge of the algorithm stack, while these two helpers
+// resolve against kc::api::registry(). Binaries that expose an
+// algorithm choice include this header; pure flag parsing stays
+// dependency-free.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cli/args.hpp"
+
+namespace kc::cli {
+
+/// Consumes --algo= and resolves it against the algorithm registry
+/// (canonical name or alias; see api::registry()). Returns the
+/// *canonical* name, or `fallback` when the flag is absent (an empty
+/// fallback means "no choice made"). Throws std::invalid_argument
+/// listing the registered names on an unknown value.
+[[nodiscard]] std::string algo_kind(Args& args,
+                                    const std::string& fallback = "mrg");
+
+/// When --list-algos was passed, prints every registered algorithm
+/// (canonical name, aliases, one-line description) to `out` and returns
+/// true; the caller should then exit 0. Returns false otherwise.
+[[nodiscard]] bool list_algos(Args& args, std::FILE* out = stdout);
+
+}  // namespace kc::cli

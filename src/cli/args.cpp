@@ -1,5 +1,7 @@
 #include "cli/args.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace kc::cli {
@@ -124,6 +126,15 @@ std::vector<std::string> Args::unconsumed() const {
     if (!used) out.push_back(key);
   }
   return out;
+}
+
+void reject_unknown_flags(Args& args) {
+  const auto leftover = args.unconsumed();
+  if (leftover.empty()) return;
+  std::fprintf(stderr, "%s: unknown flag(s):", args.program().c_str());
+  for (const auto& flag : leftover) std::fprintf(stderr, " --%s", flag.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
 }
 
 }  // namespace kc::cli

@@ -67,4 +67,14 @@ class Args {
 [[nodiscard]] std::shared_ptr<exec::ExecutionBackend> make_exec_backend(
     Args& args, exec::BackendKind fallback = exec::BackendKind::Sequential);
 
+// The registry-aware helpers --algo= / --list-algos live in
+// cli/algos.hpp so this header stays free of algorithm dependencies.
+
+/// Uniform unknown-flag rejection: prints
+///   <program>: unknown flag(s): --foo --bar
+/// to stderr and exits(2) when any flag was never consumed. Every
+/// binary calls this after consuming its own flags so typos never pass
+/// silently.
+void reject_unknown_flags(Args& args);
+
 }  // namespace kc::cli

@@ -34,14 +34,30 @@ DisjointUnionResult mrg_disjoint_union(const DistanceOracle& oracle,
   const std::size_t base = pts.size() / instances;
   const std::size_t extra = pts.size() % instances;
   std::size_t pos = 0;
+  std::uint64_t evals_before_chunk = 0;  // completed chunks' total evals
   for (std::size_t chunk = 0; chunk < instances; ++chunk) {
     const std::size_t len = base + (chunk < extra ? 1 : 0);
     if (len == 0) continue;
     MrgOptions chunk_options = options.mrg;
     chunk_options.seed = options.mrg.seed + chunk * 7919;
+    if (options.mrg.progress) {
+      // Progress events must report job-wide work, not chunk-local:
+      // budget enforcement hangs off dist_evals, so a per-chunk count
+      // would let a whole run slip under a global cap one chunk at a
+      // time. Rounds stay chunk-local (each instance restarts its
+      // while loop); the label says which job this really is.
+      chunk_options.progress = [&options,
+                               evals_before_chunk](const ProgressEvent& event) {
+        ProgressEvent global = event;
+        global.algorithm = "mrg-du";
+        global.dist_evals = evals_before_chunk + event.dist_evals;
+        options.mrg.progress(global);
+      };
+    }
     MrgResult chunk_result =
         mrg(oracle, pts.subspan(pos, len), k, cluster, chunk_options);
     pos += len;
+    evals_before_chunk += chunk_result.trace.total_dist_evals();
     max_chunk_rounds =
         std::max(max_chunk_rounds, chunk_result.reduce_rounds);
     union_centers.insert(union_centers.end(), chunk_result.centers.begin(),

@@ -30,7 +30,11 @@ struct DisjointUnionOptions {
   /// points, which must fit the cluster: ceil(n/instances/m) <= c).
   std::size_t instances = 2;
   /// Options forwarded to every chunk's MRG run (seed is offset per
-  /// chunk) and whose final_algo also runs the union round.
+  /// chunk) and whose final_algo also runs the union round. The
+  /// progress/cancel hooks flow into each chunk; progress events are
+  /// relabelled "mrg-du" and carry *job-cumulative* dist_evals (so a
+  /// global budget holds across chunks), while their round numbers
+  /// stay chunk-local.
   MrgOptions mrg;
 };
 

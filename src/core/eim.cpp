@@ -42,6 +42,13 @@ struct Chunk {
   std::size_t hi;
 };
 
+void check_cancelled(const EimOptions& options, int iterations_done) {
+  if (options.cancel.cancelled()) {
+    throw CancelledError("eim: cancelled after " +
+                         std::to_string(iterations_done) + " iteration(s)");
+  }
+}
+
 /// Splits [0, n) into at most `machines` near-equal contiguous ranges.
 [[nodiscard]] std::vector<Chunk> make_chunks(std::size_t n,
                                              std::size_t machines) {
@@ -89,6 +96,7 @@ EimResult eim(const DistanceOracle& oracle, std::span<const index_t> pts,
   // non-positive threshold (n = 1 makes log n = 0) degenerates too:
   // the sampling probabilities would all be zero.
   if (static_cast<double>(n) <= loop_threshold || loop_threshold <= 0.0) {
+    check_cancelled(options, 0);
     KCenterResult final_result;
     auto& round = cluster.run_indexed_round(
         "eim-final(degenerate)", 1,
@@ -116,6 +124,7 @@ EimResult eim(const DistanceOracle& oracle, std::span<const index_t> pts,
   std::vector<index_t> sample_global;  // S, as global point ids
 
   while (static_cast<double>(r_set.size()) > loop_threshold) {
+    check_cancelled(options, result.iterations);
     if (result.iterations >= options.max_iterations) {
       throw std::runtime_error("eim: exceeded max_iterations; |R| = " +
                                std::to_string(r_set.size()));
@@ -245,9 +254,14 @@ EimResult eim(const DistanceOracle& oracle, std::span<const index_t> pts,
     // astronomically small (it requires an empty S *and* H draw); the
     // iteration simply retries and max_iterations bounds pathology.
     r_set = std::move(next_r);
+    if (options.progress) {
+      options.progress({"eim", "eim-prune", result.iterations, r_set.size(),
+                        result.trace.total_dist_evals()});
+    }
   }
 
   // Output C = S [union] R, then the final clean-up round (one machine).
+  check_cancelled(options, result.iterations);
   std::vector<index_t> final_set = sample_global;
   final_set.reserve(sample_global.size() + r_set.size());
   for (const index_t p : r_set) final_set.push_back(pts[p]);

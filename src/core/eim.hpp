@@ -29,6 +29,7 @@
 
 #include "algo/result.hpp"
 #include "core/driver.hpp"
+#include "core/hooks.hpp"
 #include "geom/distance.hpp"
 #include "mapreduce/cluster.hpp"
 
@@ -62,6 +63,14 @@ struct EimOptions {
 
   std::uint64_t seed = 1;
   int max_iterations = 100;  ///< safety valve; theory: O(1/eps) w.h.p.
+
+  /// Cooperative hooks (core/hooks.hpp). `progress` fires after every
+  /// main-loop iteration (three MapReduce rounds); a cancelled `cancel`
+  /// token stops the run at the next iteration boundary (before the
+  /// final clean-up round included) by throwing CancelledError. Both
+  /// default inert.
+  ProgressFn progress;
+  CancellationToken cancel;
 };
 
 struct EimResult : KCenterResult {

@@ -4,11 +4,24 @@
 //
 //   kc::Rng rng(7);
 //   kc::PointSet data = kc::data::generate_gau(100'000, 25, 2, 100.0, 0.1, rng);
-//   kc::DistanceOracle oracle(data);
-//   kc::mr::SimCluster cluster(/*machines=*/50);
-//   auto centers = kc::mrg(oracle, data.all_indices(), /*k=*/25, cluster);
-//   auto value = kc::eval::covering_radius(oracle, data.all_indices(),
-//                                          centers.centers).radius;
+//
+//   kc::api::SolveRequest request;
+//   request.points = &data;
+//   request.k = 25;
+//   request.algorithm = "mrg";       // any kc::api::registry() name
+//   kc::api::Solver solver;
+//   kc::api::SolveReport report = solver.solve(request);
+//   // report.centers, report.value (covering radius over all points),
+//   // report.guarantee, report.trace, report.sim_seconds, ...
+//
+// The facade (src/api/) validates the request, dispatches through the
+// string-keyed algorithm registry, and returns one unified report;
+// invalid requests, unavailable backends, exhausted budgets and fired
+// cancellation tokens surface as kc::api::Error with a typed kind. The
+// underlying free functions — kc::gonzalez, kc::hochbaum_shmoys,
+// kc::mrg, kc::eim, kc::brute_force_opt — remain public and are what
+// the registry's built-in runners call; use them directly when you
+// already hold a DistanceOracle/SimCluster and want no intermediary.
 //
 // See README.md for the architecture overview and DESIGN.md for the
 // paper-reproduction inventory.
@@ -18,9 +31,15 @@
 #include "algo/gonzalez.hpp"
 #include "algo/hochbaum_shmoys.hpp"
 #include "algo/result.hpp"
+#include "api/error.hpp"
+#include "api/registry.hpp"
+#include "api/report.hpp"
+#include "api/request.hpp"
+#include "api/solver.hpp"
 #include "core/disjoint_union.hpp"
 #include "core/driver.hpp"
 #include "core/eim.hpp"
+#include "core/hooks.hpp"
 #include "core/mrg.hpp"
 #include "data/generators.hpp"
 #include "data/loader.hpp"

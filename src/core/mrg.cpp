@@ -13,6 +13,13 @@ namespace {
   return (a + b - 1) / b;
 }
 
+void check_cancelled(const MrgOptions& options, int rounds_done) {
+  if (options.cancel.cancelled()) {
+    throw CancelledError("mrg: cancelled after " + std::to_string(rounds_done) +
+                         " reduce round(s)");
+  }
+}
+
 }  // namespace
 
 MrgResult mrg(const DistanceOracle& oracle, std::span<const index_t> pts,
@@ -40,6 +47,7 @@ MrgResult mrg(const DistanceOracle& oracle, std::span<const index_t> pts,
   std::vector<index_t> sample(pts.begin(), pts.end());
 
   while (sample.size() > capacity) {
+    check_cancelled(options, result.reduce_rounds);
     if (result.reduce_rounds >= options.max_rounds) {
       throw std::runtime_error("mrg: exceeded max_rounds without converging");
     }
@@ -112,10 +120,15 @@ MrgResult mrg(const DistanceOracle& oracle, std::span<const index_t> pts,
       sample.insert(sample.end(), e.begin(), e.end());
     }
     ++result.reduce_rounds;
+    if (options.progress) {
+      options.progress({"mrg", "mrg-reduce", result.reduce_rounds,
+                        sample.size(), result.trace.total_dist_evals()});
+    }
   }
 
   // Final round: the mapper sends all of S to a single reducer, which
   // runs the sequential algorithm to pick the k result centers.
+  check_cancelled(options, result.reduce_rounds);
   cluster.check_capacity(sample.size(), "mrg-final");
   KCenterResult final_result;
   auto& final_round = cluster.run_indexed_round(

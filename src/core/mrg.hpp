@@ -23,6 +23,7 @@
 #include "algo/gonzalez.hpp"
 #include "algo/result.hpp"
 #include "core/driver.hpp"
+#include "core/hooks.hpp"
 #include "geom/distance.hpp"
 #include "mapreduce/cluster.hpp"
 #include "mapreduce/partition.hpp"
@@ -56,6 +57,13 @@ struct MrgOptions {
   /// Safety valve on the while loop (the theory needs at most
   /// O(log_{c/k} m) rounds; anything near this limit is a bug).
   int max_rounds = 64;
+
+  /// Cooperative hooks (core/hooks.hpp). `progress` fires after every
+  /// reduce round; a cancelled `cancel` token stops the run at the next
+  /// round boundary (before the final round included) by throwing
+  /// CancelledError. Both default inert.
+  ProgressFn progress;
+  CancellationToken cancel;
 };
 
 struct MrgResult : KCenterResult {

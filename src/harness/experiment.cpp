@@ -1,21 +1,11 @@
 #include "harness/experiment.hpp"
 
-#include <chrono>
 #include <stdexcept>
+#include <utility>
 
-#include "algo/gonzalez.hpp"
+#include "api/solver.hpp"
 
 namespace kc::harness {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-[[nodiscard]] double seconds_since(Clock::time_point start) noexcept {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 std::string_view to_string(AlgoKind kind) noexcept {
   switch (kind) {
@@ -26,75 +16,55 @@ std::string_view to_string(AlgoKind kind) noexcept {
   return "?";
 }
 
+std::string_view registry_name(AlgoKind kind) noexcept {
+  switch (kind) {
+    case AlgoKind::GON: return "gon";
+    case AlgoKind::MRG: return "mrg";
+    case AlgoKind::EIM: return "eim";
+  }
+  return "?";
+}
+
 RunResult run_algorithm(const AlgoConfig& config, const PointSet& points,
                         std::size_t k, std::uint64_t seed, MetricKind metric) {
-  // One backend serves both levels: the cluster's reducer fan-out and
-  // the oracle's sharded distance scans.
-  const std::shared_ptr<exec::ExecutionBackend> backend =
-      config.resolve_backend();
-  DistanceOracle oracle(points, metric);
-  oracle.bind_executor(backend.get());
-  const std::vector<index_t> all = points.all_indices();
+  // Thin adapter over the facade: translate the experiment protocol's
+  // AlgoConfig into a SolveRequest, dispatch through the registry, and
+  // flatten the unified report into the protocol's RunResult. The
+  // request carries the config's resolved backend, so one persistent
+  // thread pool serves both the cluster's reducer fan-out and the
+  // oracle's sharded distance scans across a whole sweep.
+  api::SolveRequest request;
+  request.points = &points;
+  request.metric = metric;
+  request.k = k;
+  request.algorithm = config.algorithm();
+  request.seed = seed;
+  request.exec.kind = config.exec;
+  request.exec.threads = config.threads;
+  request.exec.backend = config.resolve_backend();
+  request.exec.machines = config.machines;
+  if (request.algorithm == "mrg") {
+    request.options = config.mrg;
+  } else if (request.algorithm == "eim") {
+    request.options = config.eim;
+  }
+
+  api::Solver solver;
+  api::SolveReport report = solver.solve(request);
 
   RunResult result;
-  result.backend = std::string(backend->name());
-  const WorkScope work;
-
-  switch (config.kind) {
-    case AlgoKind::GON: {
-      GonzalezOptions options;
-      options.first = GonzalezOptions::FirstCenter::Random;
-      options.seed = seed;
-      const auto start = Clock::now();
-      GonzalezResult r = gonzalez(oracle, all, k, options);
-      result.wall_seconds = seconds_since(start);
-      result.sim_seconds = result.wall_seconds;
-      result.centers = std::move(r.centers);
-      break;
-    }
-    case AlgoKind::MRG: {
-      const mr::SimCluster cluster(config.machines, /*capacity_items=*/0,
-                                   backend);
-      MrgOptions options = config.mrg;
-      options.seed = seed;
-      const auto start = Clock::now();
-      MrgResult r = mrg(oracle, all, k, cluster, options);
-      result.wall_seconds = seconds_since(start);
-      result.sim_seconds = r.trace.simulated_seconds();
-      result.map_reduce_rounds = r.trace.num_rounds();
-      result.dist_evals = r.trace.total_dist_evals();
-      result.centers = std::move(r.centers);
-      break;
-    }
-    case AlgoKind::EIM: {
-      const mr::SimCluster cluster(config.machines, /*capacity_items=*/0,
-                                   backend);
-      EimOptions options = config.eim;
-      options.seed = seed;
-      const auto start = Clock::now();
-      EimResult r = eim(oracle, all, k, cluster, options);
-      result.wall_seconds = seconds_since(start);
-      result.sim_seconds = r.trace.simulated_seconds();
-      result.map_reduce_rounds = r.trace.num_rounds();
-      result.eim_iterations = r.iterations;
-      result.eim_sampled = r.sampled;
-      result.final_sample_size = r.final_sample_size;
-      result.dist_evals = r.trace.total_dist_evals();
-      result.centers = std::move(r.centers);
-      break;
-    }
+  result.backend = std::move(report.backend);
+  result.value = report.value;
+  result.sim_seconds = report.sim_seconds;
+  result.wall_seconds = report.wall_seconds;
+  result.map_reduce_rounds = report.rounds;
+  if (report.algorithm == "eim") {
+    result.eim_iterations = report.iterations;
+    result.eim_sampled = report.sampled;
+    result.final_sample_size = report.final_sample_size;
   }
-
-  // MRG/EIM take their eval counts from the trace above: round work is
-  // attributed per machine task, which is backend-invariant. The
-  // sequential baseline ran entirely on this thread, so the WorkScope
-  // covers it.
-  if (config.kind == AlgoKind::GON) {
-    result.dist_evals = work.elapsed().distance_evals;
-  }
-  // Solution value (the paper's quality metric), computed offline and
-  // not charged to the algorithm.
-  result.value = eval::covering_radius(oracle, all, result.centers).radius;
+  result.dist_evals = report.dist_evals;
+  result.centers = std::move(report.centers);
   return result;
 }
 

@@ -28,10 +28,22 @@ enum class AlgoKind { GON, MRG, EIM };
 
 [[nodiscard]] std::string_view to_string(AlgoKind kind) noexcept;
 
+/// The api registry name AlgoKind maps to ("gon"/"mrg"/"eim").
+[[nodiscard]] std::string_view registry_name(AlgoKind kind) noexcept;
+
 /// One algorithm configuration to benchmark.
+///
+/// This is the experiment protocol's view of a solve; run_algorithm
+/// translates it into an api::SolveRequest and dispatches through the
+/// kc::api::Solver facade, so any registry algorithm can be driven by
+/// the harness.
 struct AlgoConfig {
   AlgoKind kind = AlgoKind::GON;
-  std::string label;  ///< defaults to to_string(kind) if empty
+  /// Registry name of the algorithm to run; overrides `kind` when
+  /// non-empty (so harness sweeps can drive algorithms the legacy enum
+  /// does not know, e.g. "hs" or "mrg-du").
+  std::string algo;
+  std::string label;  ///< defaults to the algorithm name if empty
 
   int machines = 50;  ///< paper fixes m = 50 (§7.2)
 
@@ -43,11 +55,18 @@ struct AlgoConfig {
   int threads = 0;  ///< 0 = backend default (hardware concurrency)
   std::shared_ptr<exec::ExecutionBackend> backend;
 
-  MrgOptions mrg;  ///< used when kind == MRG
-  EimOptions eim;  ///< used when kind == EIM
+  MrgOptions mrg;  ///< used when the algorithm resolves to "mrg"
+  EimOptions eim;  ///< used when the algorithm resolves to "eim"
+
+  /// The registry name this config runs: `algo` if set, else the
+  /// mapping of `kind`.
+  [[nodiscard]] std::string algorithm() const {
+    return algo.empty() ? std::string(registry_name(kind)) : algo;
+  }
 
   [[nodiscard]] std::string display_label() const {
-    return label.empty() ? std::string(to_string(kind)) : label;
+    return label.empty() ? (algo.empty() ? std::string(to_string(kind)) : algo)
+                         : label;
   }
 
   /// The backend this config runs on; throws if the build lacks it.
