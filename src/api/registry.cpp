@@ -108,23 +108,11 @@ void run_brute(const SolveContext& ctx, SolveReport& report) {
 }
 
 /// Installs the Solver-prepared hooks into a loop algorithm's options.
-/// A request-level callback replaces a variant-embedded one; a
-/// budget-only wrapper (no request callback) must not silence it, so
-/// the two are chained — budget check first.
+/// A request-level callback replaces a variant-embedded one; a request
+/// without one leaves any variant-embedded callback in place.
 template <typename Options>
 void install_hooks(const SolveContext& ctx, Options& options) {
-  if (ctx.progress) {
-    if (!ctx.progress_overrides && options.progress) {
-      options.progress = [budget = ctx.progress,
-                          own = std::move(options.progress)](
-                             const ProgressEvent& event) {
-        budget(event);
-        own(event);
-      };
-    } else {
-      options.progress = ctx.progress;
-    }
-  }
+  if (ctx.progress) options.progress = ctx.progress;
   if (ctx.cancel.armed()) options.cancel = ctx.cancel;
 }
 

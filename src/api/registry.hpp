@@ -40,14 +40,12 @@ struct SolveContext {
   const mr::SimCluster* cluster = nullptr;  ///< null for sequential algos
 
   /// Hooks the runner must install into the algorithm options: the
-  /// request's cancellation token and the Solver's progress wrapper
-  /// (user callback + budget enforcement). Null/inert when unused.
-  /// `progress_overrides` is true when the request carried its own
-  /// callback (which takes precedence over a variant-embedded one);
-  /// when false, `progress` is budget-only and chains to any callback
-  /// already present in the options variant.
+  /// request's cancellation token and progress callback (which takes
+  /// precedence over a variant-embedded one). Null/inert when unused.
+  /// Budget enforcement no longer rides the progress hook — it lives
+  /// in the chunk-gated kernels via the ChunkContext the Solver binds
+  /// onto the oracle.
   ProgressFn progress;
-  bool progress_overrides = false;
   CancellationToken cancel;
 };
 

@@ -41,8 +41,13 @@ struct SolveReport {
   mr::JobTrace trace;                 ///< per-round detail (empty for GON/HS)
 
   // ---- Timings and execution facts.
-  double sim_seconds = 0.0;   ///< simulated parallel time (== wall for seq.)
+  /// Simulated parallel time: sum over rounds of the max per-machine
+  /// thread-CPU time (== wall for sequential algorithms).
+  double sim_seconds = 0.0;
   double wall_seconds = 0.0;  ///< host wall time of the algorithm run
+  /// CPU time the solve consumed on its driving thread (excludes work
+  /// the backends ran on workers; contention- and sleep-invariant).
+  double cpu_seconds = 0.0;
   std::string backend;        ///< effective execution backend name
   std::string kernel_isa;     ///< effective SIMD kernel table (scalar/avx2/...)
 };

@@ -20,6 +20,7 @@
 #include "core/hooks.hpp"
 #include "core/mrg.hpp"
 #include "exec/backend.hpp"
+#include "exec/chunk_context.hpp"
 #include "geom/distance.hpp"
 #include "geom/point_set.hpp"
 
@@ -81,15 +82,26 @@ struct SolveRequest {
   ExecSpec exec;
   std::uint64_t seed = 1;
 
-  /// Optional distance-evaluation budget; 0 = unlimited. Multi-round
-  /// algorithms are checked at every round boundary (stopping a
-  /// runaway job mid-flight), single-shot ones after the run; a solve
-  /// that exceeds it throws Error kind BudgetExceeded.
+  /// Optional distance-evaluation budget; 0 = unlimited. Enforced at
+  /// chunk granularity inside the bulk distance kernels (the Solver
+  /// builds an exec::EvalBudget and binds it, with the cancellation
+  /// token, onto the oracle as a ChunkContext), so even one huge scan
+  /// stops within ~exec::kGateEvals pair evaluations of exhaustion; a
+  /// solve that exceeds it throws Error kind BudgetExceeded.
   std::uint64_t max_dist_evals = 0;
 
+  /// Optional externally owned budget, e.g. one global odometer a
+  /// service shares across every request it admits. When set it is
+  /// used instead of max_dist_evals (which then only serves as the
+  /// after-the-run counter check when non-zero), and the caller can
+  /// read consumed() after the solve — including after an aborted one.
+  std::shared_ptr<exec::EvalBudget> budget;
+
   /// Cooperative hooks (core/hooks.hpp), installed into the algorithm
-  /// loops by the Solver. When set they take precedence over hooks
-  /// embedded in the options variant.
+  /// loops by the Solver; the cancellation token is additionally
+  /// polled between chunks inside the bulk kernels. A request-level
+  /// progress callback takes precedence over one embedded in the
+  /// options variant.
   ProgressFn progress;
   CancellationToken cancel;
 };

@@ -8,6 +8,8 @@
 
 #include "api/registry.hpp"
 #include "eval/evaluate.hpp"
+#include "exec/chunk_context.hpp"
+#include "exec/cpu_clock.hpp"
 #include "geom/counters.hpp"
 #include "geom/kernels.hpp"
 #include "mapreduce/cluster.hpp"
@@ -53,24 +55,6 @@ const AlgorithmInfo& validate(const SolveRequest& request) {
   return *info;
 }
 
-/// Wraps the user progress callback with the budget check. Returns a
-/// null function when neither is requested so the loops skip the call.
-[[nodiscard]] ProgressFn make_progress_hook(const SolveRequest& request) {
-  if (!request.progress && request.max_dist_evals == 0) return nullptr;
-  const std::uint64_t budget = request.max_dist_evals;
-  const ProgressFn user = request.progress;
-  return [budget, user](const ProgressEvent& event) {
-    if (budget > 0 && event.dist_evals > budget) {
-      throw Error(ErrorKind::BudgetExceeded,
-                  std::string(event.algorithm) + ": " +
-                      std::to_string(event.dist_evals) +
-                      " distance evaluations exceed budget " +
-                      std::to_string(budget));
-    }
-    if (user) user(event);
-  };
-}
-
 }  // namespace
 
 Solver::Solver(std::shared_ptr<exec::ExecutionBackend> backend)
@@ -113,12 +97,26 @@ SolveReport Solver::solve(const SolveRequest& request) {
   context.request = &request;
   context.backend = resolve_backend(request);
   last_ = context.backend;
-  context.progress = make_progress_hook(request);
-  context.progress_overrides = static_cast<bool>(request.progress);
+  context.progress = request.progress;
   context.cancel = request.cancel;
+
+  // Budget enforcement lives in the chunk-gated kernels: the context
+  // below carries the cancellation token and an eval budget, and the
+  // oracle's bulk scans check both every ~exec::kGateEvals pair
+  // evaluations — so a cancel or an exhausted budget stops even a
+  // single huge round within one chunk, on every backend.
+  exec::ChunkContext chunk_context;
+  chunk_context.cancel = request.cancel;
+  chunk_context.budget =
+      request.budget != nullptr
+          ? request.budget
+          : (request.max_dist_evals > 0
+                 ? std::make_shared<exec::EvalBudget>(request.max_dist_evals)
+                 : nullptr);
 
   DistanceOracle oracle(*request.points, request.metric);
   oracle.bind_executor(context.backend.get());
+  if (chunk_context.armed()) oracle.bind_context(&chunk_context);
   context.oracle = &oracle;
   const std::vector<index_t> all = request.points->all_indices();
   context.points = all;
@@ -137,10 +135,13 @@ SolveReport Solver::solve(const SolveRequest& request) {
 
   const WorkScope work;
   const auto start = Clock::now();
+  const double cpu_start = exec::thread_cpu_seconds();
   try {
     info.run(context, report);
   } catch (const Error&) {
     throw;
+  } catch (const BudgetExceededError& e) {
+    throw Error(ErrorKind::BudgetExceeded, e.what());
   } catch (const CancelledError& e) {
     throw Error(ErrorKind::Cancelled, e.what());
   } catch (const std::invalid_argument& e) {
@@ -148,8 +149,13 @@ SolveReport Solver::solve(const SolveRequest& request) {
   } catch (const std::length_error& e) {
     throw Error(ErrorKind::BadRequest, e.what());
   }
+  report.cpu_seconds = exec::thread_cpu_seconds() - cpu_start;
   report.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  // The offline value evaluation below must not be gated: it is not
+  // charged to the algorithm, so it must neither consume budget nor
+  // abort a solve that finished within it.
+  oracle.bind_context(nullptr);
 
   // Cluster algorithms take their counts and simulated time from the
   // trace (attributed per machine task, backend-invariant). Sequential

@@ -42,10 +42,14 @@ class Solver {
   ///                       algorithm, mismatched options variant, or
   ///                       option values the algorithm rejects
   ///   UnsupportedBackend  this build cannot provide ExecSpec::kind
-  ///   BudgetExceeded      max_dist_evals ran out (checked at round
-  ///                       boundaries and after the run)
+  ///   BudgetExceeded      the eval budget ran out (enforced at chunk
+  ///                       granularity inside the bulk kernels — even
+  ///                       one huge scan stops within ~kGateEvals pair
+  ///                       evaluations — plus a counter check after
+  ///                       the run for non-kernel evaluations)
   ///   Cancelled           the cancellation token fired (checked before
-  ///                       dispatch and at every round boundary)
+  ///                       dispatch, at every round boundary, and
+  ///                       between chunks inside the bulk kernels)
   [[nodiscard]] SolveReport solve(const SolveRequest& request);
 
   /// The backend the last solve ran on — including a request-supplied

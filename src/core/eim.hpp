@@ -68,7 +68,9 @@ struct EimOptions {
   /// main-loop iteration (three MapReduce rounds); a cancelled `cancel`
   /// token stops the run at the next iteration boundary (before the
   /// final clean-up round included) by throwing CancelledError. Both
-  /// default inert.
+  /// default inert. (Solves driven through api::Solver additionally
+  /// observe the token *inside* the bulk distance scans —
+  /// chunk-granular, via the oracle's ChunkContext.)
   ProgressFn progress;
   CancellationToken cancel;
 };

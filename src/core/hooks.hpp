@@ -1,71 +1,32 @@
 // Cooperative progress and cancellation hooks for the multi-round
 // algorithm loops (MRG reduce rounds, EIM main-loop iterations).
 //
-// Both hooks are cooperative: the loops consult them only at round
-// boundaries, on the thread driving the job, never mid-round and never
-// from a reducer task. A solve therefore stops within one round of a
-// cancellation request — the granularity the simulated-cluster model
-// makes meaningful, since a round is the unit of work the paper's
-// metrics account.
+// The loops consult the hooks at round boundaries, on the thread
+// driving the job; in addition, when the facade binds a ChunkContext
+// onto the DistanceOracle (exec/chunk_context.hpp), the same
+// CancellationToken is polled between chunks *inside* the bulk
+// distance scans, so even a single huge round stops within one chunk
+// of a cancellation request or budget exhaustion.
 //
-// The types live in core (not api/) so the algorithm loops can carry
-// them in their options structs without depending on the facade; the
-// facade (api/solver.hpp) installs request-level hooks into the options
-// and maps CancelledError to its typed error taxonomy.
+// CancellationToken / CancelledError / BudgetExceededError live in
+// exec/cancellation.hpp (the execution machinery consults them); this
+// header re-exports them so the algorithm loops and their options
+// structs keep spelling kc::CancellationToken without depending on the
+// facade.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <stdexcept>
 #include <string_view>
+
+#include "exec/cancellation.hpp"
 
 namespace kc {
 
-/// Shared handle asking a running solve to stop at the next round
-/// boundary. Copies share one flag, so the caller keeps a copy, hands
-/// another to the options struct, and flips it from any thread (a
-/// progress callback, a signal handler thread, a service front-end).
-/// A default-constructed token is inert: it can never report
-/// cancellation, so options structs embed one at zero cost.
-class CancellationToken {
- public:
-  CancellationToken() = default;
-
-  /// An armed token whose request_cancel() is observable.
-  [[nodiscard]] static CancellationToken make() {
-    CancellationToken token;
-    token.flag_ = std::make_shared<std::atomic<bool>>(false);
-    return token;
-  }
-
-  void request_cancel() const noexcept {
-    if (flag_) flag_->store(true, std::memory_order_relaxed);
-  }
-  [[nodiscard]] bool cancelled() const noexcept {
-    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
-  }
-  /// True when this token shares a real flag (false for the inert
-  /// default-constructed token).
-  [[nodiscard]] bool armed() const noexcept { return flag_ != nullptr; }
-
- private:
-  std::shared_ptr<std::atomic<bool>> flag_;
-};
-
-/// Thrown by the algorithm loops when their token reports cancellation.
-/// The api layer maps it to api::Error kind Cancelled; direct callers
-/// of mrg()/eim() may catch it as-is.
-class CancelledError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
 /// One progress tick, emitted after each MRG reduce round / EIM
 /// iteration and carrying enough state for a caller to display
-/// progress or enforce a work budget.
+/// progress or track a work budget.
 struct ProgressEvent {
   std::string_view algorithm;    ///< "mrg" or "eim"
   std::string_view phase;        ///< round label, e.g. "mrg-reduce"
@@ -76,7 +37,7 @@ struct ProgressEvent {
 
 /// Called between rounds on the thread driving the job. Exceptions
 /// thrown from the callback propagate out of the algorithm and abort
-/// the run (the facade's budget enforcement relies on exactly this).
+/// the run.
 using ProgressFn = std::function<void(const ProgressEvent&)>;
 
 }  // namespace kc

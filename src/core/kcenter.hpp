@@ -48,7 +48,10 @@
 #include "eval/evaluate.hpp"
 #include "eval/lower_bound.hpp"
 #include "exec/backend.hpp"
-#include "exec/thread_pool.hpp"
+#include "exec/cancellation.hpp"
+#include "exec/chunk_context.hpp"
+#include "exec/cpu_clock.hpp"
+#include "exec/scheduler.hpp"
 #include "geom/counters.hpp"
 #include "geom/distance.hpp"
 #include "geom/parallel.hpp"

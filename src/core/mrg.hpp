@@ -61,7 +61,9 @@ struct MrgOptions {
   /// Cooperative hooks (core/hooks.hpp). `progress` fires after every
   /// reduce round; a cancelled `cancel` token stops the run at the next
   /// round boundary (before the final round included) by throwing
-  /// CancelledError. Both default inert.
+  /// CancelledError. Both default inert. (Solves driven through
+  /// api::Solver additionally observe the token *inside* the bulk
+  /// distance scans — chunk-granular, via the oracle's ChunkContext.)
   ProgressFn progress;
   CancellationToken cancel;
 };

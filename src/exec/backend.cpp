@@ -141,24 +141,17 @@ void OpenMPBackend::parallel_for(std::size_t n, std::size_t grain,
 // ------------------------------------------------------------- ThreadPool
 
 void ThreadPoolBackend::run_tasks(std::span<const Task> tasks) {
-  if (tasks.empty()) return;
-  if (tasks.size() == 1) {
-    // Single-reducer rounds (the final Gonzalez round) run on the
-    // submitting thread so their sharded distance scans can fan out
-    // across the idle workers.
-    tasks[0]();
-    return;
-  }
-  pool_.run_chunks(tasks.size(), tasks.size(),
-                   [&tasks](std::size_t lo, std::size_t hi) {
-                     for (std::size_t t = lo; t < hi; ++t) tasks[t]();
-                   });
+  // Single-reducer rounds (the final Gonzalez round) run on the
+  // submitting thread so their sharded distance scans can fan out
+  // across the idle workers; run_tasks handles that inline itself.
+  scheduler_.run_tasks(tasks);
 }
 
 void ThreadPoolBackend::parallel_for(std::size_t n, std::size_t grain,
                                      const RangeBody& body) {
   if (n == 0) return;
-  pool_.run_chunks(n, chunk_count(n, grain, pool_.concurrency()), body);
+  scheduler_.run_chunks(n, chunk_count(n, grain, scheduler_.concurrency()),
+                        body);
 }
 
 // ---------------------------------------------------------------- factory

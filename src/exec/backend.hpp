@@ -10,9 +10,11 @@
 //   OpenMPBackend      OpenMP parallel loops; only constructible when
 //                      the build defines KC_HAVE_OPENMP (requesting it
 //                      otherwise throws — no silent degrade).
-//   ThreadPoolBackend  persistent std::thread workers with a shared
-//                      work queue; task fan-out pays no thread spawn
-//                      cost per round.
+//   ThreadPoolBackend  persistent workers behind the work-stealing
+//                      scheduler (exec/scheduler.hpp): per-worker
+//                      deques, TaskGroup isolation, so independent
+//                      jobs interleave and fan-out pays no thread
+//                      spawn cost per round.
 //
 // The backend only decides *where* closures run. All simulated
 // metrics — centers, radii, round counts, per-machine distance-eval
@@ -34,7 +36,7 @@
 #include <span>
 #include <string_view>
 
-#include "exec/thread_pool.hpp"
+#include "exec/scheduler.hpp"
 
 namespace kc::exec {
 
@@ -117,24 +119,24 @@ class OpenMPBackend final : public ExecutionBackend {
   int threads_ = 1;
 };
 
-/// Persistent worker threads with a shared work queue.
+/// Persistent workers behind the work-stealing scheduler.
 class ThreadPoolBackend final : public ExecutionBackend {
  public:
   /// `threads <= 0` uses std::thread::hardware_concurrency().
-  explicit ThreadPoolBackend(int threads = 0) : pool_(threads) {}
+  explicit ThreadPoolBackend(int threads = 0) : scheduler_(threads) {}
   [[nodiscard]] BackendKind kind() const noexcept override {
     return BackendKind::ThreadPool;
   }
   [[nodiscard]] int concurrency() const noexcept override {
-    return pool_.concurrency();
+    return scheduler_.concurrency();
   }
-  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
   void run_tasks(std::span<const Task> tasks) override;
   void parallel_for(std::size_t n, std::size_t grain,
                     const RangeBody& body) override;
 
  private:
-  ThreadPool pool_;
+  Scheduler scheduler_;
 };
 
 /// Factory for the --exec flag: builds the requested backend or throws

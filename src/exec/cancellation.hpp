@@ -1,0 +1,68 @@
+// Cooperative cancellation primitives, shared by every layer that can
+// stop a run early: the algorithm loops check a CancellationToken at
+// round boundaries (core/hooks.hpp re-exports it for them), and the
+// chunk-gated distance kernels (exec/chunk_context.hpp) check the same
+// token between chunks of a single scan, so even one huge scan stops
+// within one chunk of a request.
+//
+// The types live at the bottom of the layer stack (exec/) because the
+// execution machinery itself consults them; core/hooks.hpp includes
+// this header so existing callers keep spelling kc::CancellationToken.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+namespace kc {
+
+/// Shared handle asking a running solve to stop at the next check
+/// point (a round boundary, or a chunk boundary inside a gated scan).
+/// Copies share one flag, so the caller keeps a copy, hands another to
+/// the options struct, and flips it from any thread (a progress
+/// callback, a signal handler thread, a service front-end).
+/// A default-constructed token is inert: it can never report
+/// cancellation, so options structs embed one at zero cost.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// An armed token whose request_cancel() is observable.
+  [[nodiscard]] static CancellationToken make() {
+    CancellationToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  void request_cancel() const noexcept {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+  /// True when this token shares a real flag (false for the inert
+  /// default-constructed token).
+  [[nodiscard]] bool armed() const noexcept { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Thrown when a cancelled token is observed: by the algorithm loops
+/// at round boundaries and by the gated kernels between chunks. The
+/// api layer maps it to api::Error kind Cancelled; direct callers of
+/// mrg()/eim() may catch it as-is.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an EvalBudget (exec/chunk_context.hpp) runs dry inside
+/// a gated scan. The api layer maps it to api::Error kind
+/// BudgetExceeded.
+class BudgetExceededError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace kc

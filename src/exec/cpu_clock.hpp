@@ -1,0 +1,41 @@
+// Per-thread CPU-time clock for the simulated-time metric.
+//
+// The paper's "processing time of a simulated machine" is the work the
+// machine performed, not how long the host took to get around to it.
+// Wall-clock charging conflates the two as soon as tasks contend for
+// cores (a parallel backend oversubscribing the host would *inflate*
+// simulated time) or a task blocks (a sleeping task would be charged
+// for sleeping). CLOCK_THREAD_CPUTIME_ID measures exactly the CPU time
+// the calling thread consumed, which is invariant under scheduling —
+// the fidelity the simulated metric needs under parallel backends.
+//
+// The difference of two readings is only meaningful on one thread;
+// the SimCluster guarantees that by reading around each task, which
+// the execution backends run entirely on a single thread.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace kc::exec {
+
+/// Seconds of CPU time the calling thread has consumed. Monotone per
+/// thread; differences across threads are meaningless.
+[[nodiscard]] inline double thread_cpu_seconds() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  // Fallback for platforms without per-thread CPU clocks: wall time.
+  // (Not process CPU time — that would charge every concurrent
+  // thread's work to each task, which is *worse* than the wall clock
+  // this facility replaced.)
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace kc::exec

@@ -1,0 +1,138 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005), the
+// per-worker queue of the scheduler.
+//
+// One owner thread pushes and pops at the bottom (LIFO, so nested
+// submissions run hot in cache); any number of thieves steal from the
+// top (FIFO, so they take the oldest — largest-granularity — work).
+// The element type must be trivially copyable and lock-free-atomic
+// sized; the scheduler stores TaskNode pointers.
+//
+// Memory ordering: every access to the top/bottom indices is seq_cst.
+// The classic formulation saves a fence or two with standalone
+// atomic_thread_fence, but ThreadSanitizer does not model standalone
+// fences and would report false races through them; seq_cst index
+// operations keep the CI TSan leg meaningful, and on x86 cost one
+// locked op per pop — noise next to the chunk bodies this schedules.
+//
+// Capacity is fixed (a power of two). push() reports failure instead
+// of growing; the scheduler falls back to its injector queue, so a
+// full deque degrades throughput, never correctness.
+//
+// Two conditional operations extend the textbook interface:
+//   pop_if / steal_if  evaluate a predicate on the candidate element
+//                      *before* removing it, so a thread that must only
+//                      execute one TaskGroup's work (a group waiter —
+//                      anything else would corrupt that task's CPU-time
+//                      and work attribution) can skip foreign tasks
+//                      without dequeuing them.
+// Reading the element before the claim is safe: slots are only written
+// by the owner's push, and an element still present in the deque always
+// points at live memory (a task's storage outlives its group, and a
+// task leaves the deque before it can finish).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace kc::exec {
+
+template <typename T>
+class WorkDeque {
+ public:
+  enum class Claim { Ok, Empty, Lost, Skipped };
+
+  /// Capacity is rounded up to a power of two (the index mask depends
+  /// on it; a non-pow2 mask would alias slots and lose elements).
+  explicit WorkDeque(std::size_t capacity = 4096)
+      : mask_(static_cast<std::int64_t>(std::bit_ceil(capacity)) - 1),
+        buffer_(std::make_unique<std::atomic<T>[]>(std::bit_ceil(capacity))) {}
+
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  /// Owner only. False when the deque is full.
+  [[nodiscard]] bool push(T item) noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    const std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (b - t > mask_) return false;
+    buffer_[b & mask_].store(item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only. LIFO; Empty when nothing is left (a concurrent thief
+  /// may win the race for the last element).
+  [[nodiscard]] Claim pop(T& out) noexcept {
+    return pop_if([](T) { return true; }, out);
+  }
+
+  /// Owner only. Peeks the bottom element and leaves it in place
+  /// (Claim::Skipped) when `pred` rejects it.
+  template <typename Pred>
+  [[nodiscard]] Claim pop_if(Pred&& pred, T& out) noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst) - 1;
+    {
+      // Peek before publishing the decremented bottom: if the element
+      // is foreign we must not have claimed it even transiently.
+      const std::int64_t t = top_.load(std::memory_order_seq_cst);
+      if (t > b) return Claim::Empty;
+      const T candidate = buffer_[b & mask_].load(std::memory_order_relaxed);
+      if (!pred(candidate)) return Claim::Skipped;
+    }
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // a thief emptied the deque since the peek
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return Claim::Empty;
+    }
+    out = buffer_[b & mask_].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via top.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_seq_cst);
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return won ? Claim::Ok : Claim::Empty;
+    }
+    return Claim::Ok;
+  }
+
+  /// Thief. FIFO; Lost means a race was lost and a retry may succeed.
+  [[nodiscard]] Claim steal(T& out) noexcept {
+    return steal_if([](T) { return true; }, out);
+  }
+
+  /// Thief. Peeks the top element and leaves it (Claim::Skipped) when
+  /// `pred` rejects it.
+  template <typename Pred>
+  [[nodiscard]] Claim steal_if(Pred&& pred, T& out) noexcept {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return Claim::Empty;
+    const T candidate = buffer_[t & mask_].load(std::memory_order_relaxed);
+    if (!pred(candidate)) return Claim::Skipped;
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return Claim::Lost;
+    }
+    out = candidate;
+    return Claim::Ok;
+  }
+
+  /// Racy size hint (exact only for the owner with no thieves active).
+  [[nodiscard]] std::size_t size_hint() const noexcept {
+    const std::int64_t d = bottom_.load(std::memory_order_relaxed) -
+                           top_.load(std::memory_order_relaxed);
+    return d > 0 ? static_cast<std::size_t>(d) : 0;
+  }
+
+ private:
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::int64_t mask_;
+  std::unique_ptr<std::atomic<T>[]> buffer_;
+};
+
+}  // namespace kc::exec

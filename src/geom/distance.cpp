@@ -1,11 +1,62 @@
 #include "geom/distance.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "exec/chunk_context.hpp"
 #include "geom/parallel.hpp"
 
 namespace kc {
+
+namespace {
+
+/// Drives `run` over [0, n) in gate chunks of ~exec::kGateEvals pair
+/// evaluations, charging the context's budget and polling its token
+/// before each chunk. `fan_out` additionally shards the gated body
+/// across the backend (the gates subdivide whatever ranges the backend
+/// hands out, so granularity is backend-independent). A tripped stop
+/// condition makes every not-yet-started gate chunk a no-op — on all
+/// shards, via the shared flag — and is returned to the caller, which
+/// raises the matching error on its own thread.
+[[nodiscard]] exec::StopReason gated_scan(
+    const exec::ChunkContext& ctx, exec::ExecutionBackend* backend,
+    bool fan_out, std::size_t n, std::size_t shard_grain,
+    std::uint64_t evals_per_item,
+    const exec::ExecutionBackend::RangeBody& run) {
+  const std::size_t gate = std::max<std::size_t>(
+      1, static_cast<std::size_t>(exec::kGateEvals /
+                                  std::max<std::uint64_t>(evals_per_item, 1)));
+  std::atomic<int> stop{0};
+  const exec::ExecutionBackend::RangeBody gated = [&](std::size_t lo,
+                                                      std::size_t hi) {
+    for (std::size_t pos = lo; pos < hi;) {
+      if (stop.load(std::memory_order_relaxed) != 0) return;
+      const std::size_t end = std::min(hi, pos + gate);
+      const exec::StopReason reason =
+          ctx.charge(static_cast<std::uint64_t>(end - pos) * evals_per_item);
+      if (reason != exec::StopReason::None) {
+        stop.store(static_cast<int>(reason), std::memory_order_relaxed);
+        return;
+      }
+      run(pos, end);
+      pos = end;
+    }
+  };
+  if (fan_out && backend != nullptr) {
+    backend->parallel_for(n, shard_grain, gated);
+  } else {
+    gated(0, n);
+  }
+  return static_cast<exec::StopReason>(stop.load(std::memory_order_relaxed));
+}
+
+/// True when the oracle should run this scan through the gated driver.
+[[nodiscard]] bool gating(const exec::ChunkContext* ctx) noexcept {
+  return ctx != nullptr && ctx->armed();
+}
+
+}  // namespace
 
 // The kernel tables are indexed by MetricKind's enumerator values.
 static_assert(static_cast<std::size_t>(MetricKind::L2) == 0 &&
@@ -38,7 +89,7 @@ double DistanceOracle::from_reported(double dist) const noexcept {
 
 void DistanceOracle::update_nearest(std::span<const index_t> ids,
                                     index_t center,
-                                    std::span<double> best) const noexcept {
+                                    std::span<double> best) const {
   // The whole scan is charged to the calling thread up front, so a
   // sharded execution attributes work exactly as a sequential one.
   counters::add_distance_evals(ids.size(), dim());
@@ -59,7 +110,18 @@ void DistanceOracle::update_nearest(std::span<const index_t> ids,
                                   hi - lo, c, best.data() + lo);
     }
   };
-  if (exec_ != nullptr && ids.size() >= shard_min_) {
+  const bool fan_out = exec_ != nullptr && ids.size() >= shard_min_;
+  if (gating(ctx_)) {
+    const exec::StopReason reason =
+        gated_scan(*ctx_, exec_, fan_out, ids.size(),
+                   std::max<std::size_t>(1, shard_min_ / 2),
+                   /*evals_per_item=*/1, run);
+    if (reason != exec::StopReason::None) {
+      exec::ChunkContext::raise(reason, "update_nearest");
+    }
+    return;
+  }
+  if (fan_out) {
     sharded_for(exec_, ids.size(), shard_min_, run);
     return;
   }
@@ -68,7 +130,7 @@ void DistanceOracle::update_nearest(std::span<const index_t> ids,
 
 void DistanceOracle::update_nearest_multi(std::span<const index_t> ids,
                                           std::span<const index_t> centers,
-                                          std::span<double> best) const noexcept {
+                                          std::span<double> best) const {
   if (ids.empty() || centers.empty()) return;
   // One bulk charge for the whole ids x centers batch.
   counters::add_distance_evals(ids.size() * centers.size(), dim());
@@ -104,10 +166,20 @@ void DistanceOracle::update_nearest_multi(std::span<const index_t> ids,
   // instead of multiplying so it cannot overflow; the grain shrinks
   // with the center count so each chunk still does ~shard_min_/2 pair
   // evals.
-  if (exec_ != nullptr && ids.size() > 1 &&
-      ids.size() > shard_min_ / centers.size()) {
-    const std::size_t grain =
-        std::max<std::size_t>(1, shard_min_ / 2 / centers.size());
+  const bool fan_out = exec_ != nullptr && ids.size() > 1 &&
+                       ids.size() > shard_min_ / centers.size();
+  const std::size_t grain =
+      std::max<std::size_t>(1, shard_min_ / 2 / centers.size());
+  if (gating(ctx_)) {
+    const exec::StopReason reason =
+        gated_scan(*ctx_, exec_, fan_out, ids.size(), grain,
+                   /*evals_per_item=*/centers.size(), run);
+    if (reason != exec::StopReason::None) {
+      exec::ChunkContext::raise(reason, "update_nearest_multi");
+    }
+    return;
+  }
+  if (fan_out) {
     exec_->parallel_for(ids.size(), grain, run);
     return;
   }
@@ -148,12 +220,39 @@ std::vector<double> DistanceOracle::pairwise_comparable(
   counters::add_distance_evals(n * (n - 1) / 2, dim());
   const auto pair = kernels_->pair[metric_index()];
   const std::size_t d = dim();
+  // Context gating: rows split into sub-blocks of at most kGateEvals
+  // pairs; before a block runs out of pre-paid credit, the next gate's
+  // worth of evals (capped at what is left in the matrix) is charged
+  // in one atomic operation. Granularity stays one gate — even a
+  // single huge row stops within ~kGateEvals pairs of a stop — while
+  // the shared budget sees ~total/kGateEvals CAS ops, not one per row,
+  // and a completed scan charges exactly its n*(n-1)/2 pairs.
+  const bool gate = gating(ctx_);
+  const std::size_t block =
+      static_cast<std::size_t>(std::min<std::uint64_t>(exec::kGateEvals, n));
+  std::uint64_t unpaid = n * (n - 1) / 2;
+  std::uint64_t credit = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const double* pi = points_->data(ids[i]);
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = pair(pi, points_->data(ids[j]), d);
-      matrix[i * n + j] = v;
-      matrix[j * n + i] = v;
+    for (std::size_t j0 = i + 1; j0 < n; j0 += block) {
+      const std::size_t j1 = std::min(n, j0 + block);
+      if (gate) {
+        if (credit < j1 - j0) {
+          const std::uint64_t batch = std::min(unpaid, exec::kGateEvals);
+          const exec::StopReason reason = ctx_->charge(batch);
+          if (reason != exec::StopReason::None) {
+            exec::ChunkContext::raise(reason, "pairwise_comparable");
+          }
+          unpaid -= batch;
+          credit += batch;
+        }
+        credit -= j1 - j0;
+      }
+      for (std::size_t j = j0; j < j1; ++j) {
+        const double v = pair(pi, points_->data(ids[j]), d);
+        matrix[i * n + j] = v;
+        matrix[j * n + i] = v;
+      }
     }
   }
   return matrix;

@@ -26,6 +26,7 @@
 
 namespace kc::exec {
 class ExecutionBackend;
+struct ChunkContext;
 }  // namespace kc::exec
 
 namespace kc {
@@ -56,6 +57,20 @@ inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
 /// attribution: chunks are deterministic, the per-element min-fold is
 /// order-independent, and the full eval count is charged to the
 /// calling thread before fan-out.
+///
+/// Optionally binds a ChunkContext (bind_context) carrying a
+/// CancellationToken and a shared distance-eval budget. The bulk
+/// kernels then execute in gate chunks of ~exec::kGateEvals pair
+/// evaluations — on every backend, including a purely sequential
+/// scan — checking the token and charging the budget per chunk, and
+/// throw CancelledError / BudgetExceededError within one chunk of a
+/// stop condition. Gating never changes results: chunks write disjoint
+/// output slices with the same order-independent fold. On an aborted
+/// scan the thread-local counters (bulk-charged up front) over-report;
+/// the context's budget odometer reflects the work that actually ran
+/// to within one gate chunk (pairwise_comparable pre-buys credit in
+/// gate-sized batches, so an abort may leave < kGateEvals charged but
+/// unexecuted). Completed scans charge exactly their eval count.
 class DistanceOracle {
  public:
   explicit DistanceOracle(const PointSet& points,
@@ -76,6 +91,17 @@ class DistanceOracle {
   }
   [[nodiscard]] exec::ExecutionBackend* executor() const noexcept {
     return exec_;
+  }
+
+  /// Binds (or, with nullptr, unbinds) the stop-condition context the
+  /// bulk kernels check between gate chunks. The oracle does not own
+  /// the context; the caller keeps it alive across the scans. An
+  /// unarmed context (no token, no budget) is ignored.
+  void bind_context(const exec::ChunkContext* context) noexcept {
+    ctx_ = context;
+  }
+  [[nodiscard]] const exec::ChunkContext* context() const noexcept {
+    return ctx_;
   }
 
   /// Overrides the kernel table used by this oracle (nullptr restores
@@ -106,19 +132,21 @@ class DistanceOracle {
   /// best[i] = min(best[i], comparable(ids[i], center)) for all i.
   /// This is the workhorse of Gonzalez's algorithm and of the EIM
   /// incremental d(x, S) maintenance. Returns nothing; work counters
-  /// record ids.size() pair evaluations.
+  /// record ids.size() pair evaluations. With a bound armed context,
+  /// throws CancelledError / BudgetExceededError within one gate chunk
+  /// of a stop condition.
   void update_nearest(std::span<const index_t> ids, index_t center,
-                      std::span<double> best) const noexcept;
+                      std::span<double> best) const;
 
   /// best[i] = min over c in centers of comparable(ids[i], c), folded
   /// into the existing best[i]. Bit-identical to repeated
   /// update_nearest, but tiles centers in blocks of simd::kCenterBlock
   /// so each streaming pass over the points folds several centers per
   /// load of best/ids — ~4x less memory traffic for EIM's select-round
-  /// batches.
+  /// batches. Context-gated like update_nearest.
   void update_nearest_multi(std::span<const index_t> ids,
                             std::span<const index_t> centers,
-                            std::span<double> best) const noexcept;
+                            std::span<double> best) const;
 
   /// Comparable distance from point `p` to the nearest of `centers`
   /// (kInfDist if centers is empty).
@@ -143,7 +171,8 @@ class DistanceOracle {
 
   const PointSet* points_;
   MetricKind kind_;
-  exec::ExecutionBackend* exec_ = nullptr;  ///< not owned; may be null
+  exec::ExecutionBackend* exec_ = nullptr;        ///< not owned; may be null
+  const exec::ChunkContext* ctx_ = nullptr;       ///< not owned; may be null
   std::size_t shard_min_ = kShardMinItems;
   /// Active kernel table; never null (defaults to the process-wide
   /// runtime-dispatched selection).

@@ -56,6 +56,56 @@ struct VecAvx512 {
   static unsigned cmpeq_mask(reg a, reg b) {
     return static_cast<unsigned>(_mm512_cmp_pd_mask(a, b, _CMP_EQ_OQ));
   }
+
+  // ---- Masked-tail hooks (kernels_simd_impl.hpp): the update_nearest
+  // tails run under a lane mask instead of the scalar reference loop.
+  // AVX-512 masked loads fault-suppress inactive lanes, so a tail never
+  // reads past the end of the point rows or the best[] slice; inactive
+  // lanes are zero-filled, computed on harmlessly, and never stored.
+
+  using Mask = __mmask8;
+
+  static Mask tail_mask(std::size_t r) {
+    return static_cast<Mask>((1u << r) - 1u);
+  }
+  static reg maskz_loadu(Mask m, const double* p) {
+    return _mm512_maskz_loadu_pd(m, p);
+  }
+  static void mask_storeu(double* p, Mask m, reg v) {
+    _mm512_mask_storeu_pd(p, m, v);
+  }
+
+  /// p[j * stride] for j < r, zero above. Assembled lane by lane (a
+  /// masked gather would need index vectors; the tail runs once per
+  /// scan, so the shuffle through memory is irrelevant).
+  static reg maskz_load_strided(const double* p, std::size_t stride,
+                                std::size_t r) {
+    alignas(64) double lanes[kWidth] = {};
+    for (std::size_t j = 0; j < r; ++j) lanes[j] = p[j * stride];
+    return _mm512_load_pd(lanes);
+  }
+  static reg maskz_load_rows(const double* const* rows, std::size_t d,
+                             std::size_t r) {
+    alignas(64) double lanes[kWidth] = {};
+    for (std::size_t j = 0; j < r; ++j) lanes[j] = rows[j][d];
+    return _mm512_load_pd(lanes);
+  }
+
+  /// First r dim-2 rows (2r doubles) split into x/y lanes, zero above;
+  /// the two masked halves cover exactly the valid doubles.
+  static void maskz_deinterleave2(const double* p, std::size_t r, reg& x,
+                                  reg& y) {
+    const auto lo = static_cast<Mask>(
+        r >= 4 ? 0xFFu : ((1u << (2 * r)) - 1u));
+    const auto hi = static_cast<Mask>(
+        r > 4 ? ((1u << (2 * r - 8)) - 1u) : 0u);
+    const __m512d a = _mm512_maskz_loadu_pd(lo, p);
+    const __m512d b = _mm512_maskz_loadu_pd(hi, p + 8);
+    const __m512i ix = _mm512_set_epi64(14, 12, 10, 8, 6, 4, 2, 0);
+    const __m512i iy = _mm512_set_epi64(15, 13, 11, 9, 7, 5, 3, 1);
+    x = _mm512_permutex2var_pd(a, ix, b);
+    y = _mm512_permutex2var_pd(a, iy, b);
+  }
 };
 
 constexpr KernelTable kAvx512Table = make_kernel_table<VecAvx512>("avx512");

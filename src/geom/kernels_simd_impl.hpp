@@ -21,8 +21,27 @@
 // generic scalar fold is exact for the non-negative per-coordinate
 // terms). vmin/vmax operand order reproduces the scalar strict-<
 // comparisons' tie behavior. Ragged tails run the scalar reference
-// loops. The including translation units are compiled with
-// -ffp-contract=off so none of this can be fused into FMA.
+// loops — unless the Vec type provides masked-tail support (AVX-512's
+// lane masks):
+//
+//   using Mask;                                   // e.g. __mmask8
+//   Mask tail_mask(std::size_t r);                // low r lanes active
+//   reg maskz_loadu(Mask, const double*);         // inactive lanes 0.0,
+//                                                 //   no faulting reads
+//   void mask_storeu(double*, Mask, reg);         // inactive lanes untouched
+//   reg maskz_load_strided(const double* p, std::size_t stride,
+//                          std::size_t r);        // p[j*stride], j < r
+//   reg maskz_load_rows(const double* const* rows, std::size_t d,
+//                       std::size_t r);           // rows[j][d],  j < r
+//   void maskz_deinterleave2(const double* p, std::size_t r,
+//                            reg& x, reg& y);     // first r dim-2 rows
+//
+// then the update_nearest tails run vectorized under a mask: active
+// lanes perform exactly the main loop's (scalar-identical) operation
+// sequence, inactive lanes compute on zeros and are never stored, so
+// bit-identity holds and no out-of-bounds element is ever read. The
+// including translation units are compiled with -ffp-contract=off so
+// none of this can be fused into FMA.
 #pragma once
 
 #include <bit>
@@ -33,6 +52,23 @@
 #include "geom/kernels_scalar_impl.hpp"
 
 namespace kc::simd {
+
+/// True when the Vec type provides the complete masked-tail hook set
+/// (see the header comment); detected, not declared, so the AVX2 table
+/// keeps its scalar tails untouched. All six hooks are probed: a type
+/// providing only some of them must fall back to the scalar tails
+/// instead of failing to compile inside the tail bodies.
+template <typename V>
+concept HasMaskedTail = requires(const double* p, double* q,
+                                 const double* const* rows,
+                                 typename V::reg& r) {
+  { V::tail_mask(std::size_t{1}) };
+  { V::maskz_loadu(V::tail_mask(std::size_t{1}), p) };
+  { V::mask_storeu(q, V::tail_mask(std::size_t{1}), typename V::reg{}) };
+  { V::maskz_load_strided(p, std::size_t{1}, std::size_t{1}) };
+  { V::maskz_load_rows(rows, std::size_t{0}, std::size_t{1}) };
+  { V::maskz_deinterleave2(p, std::size_t{1}, r, r) };
+};
 
 template <typename V, MetricKind M>
 struct SimdKernels {
@@ -53,6 +89,50 @@ struct SimdKernels {
     } else {
       return V::vmax(V::vabs(diff), acc);
     }
+  }
+
+  /// Masked tail of nearest_contig: the last r (< W) rows run in the
+  /// low r lanes with exactly the main loop's operation sequence;
+  /// inactive lanes compute on zeros and are neither read from memory
+  /// (maskz loads fault-suppress) nor written back (masked store).
+  static void tail_contig(const double* rows, std::size_t dim, std::size_t r,
+                          const double* center, double* best)
+    requires HasMaskedTail<V>
+  {
+    const auto m = V::tail_mask(r);
+    reg acc;
+    if (dim == 2) {
+      reg x, y;
+      V::maskz_deinterleave2(rows, r, x, y);
+      acc = accum(accum(V::zero(), V::sub(x, V::set1(center[0]))),
+                  V::sub(y, V::set1(center[1])));
+    } else {
+      acc = V::zero();
+      for (std::size_t d = 0; d < dim; ++d) {
+        acc = accum(acc, V::sub(V::maskz_load_strided(rows + d, dim, r),
+                                V::set1(center[d])));
+      }
+    }
+    V::mask_storeu(best, m, V::vmin(acc, V::maskz_loadu(m, best)));
+  }
+
+  /// Masked tail of nearest_gather; `ids` holds the r remaining ids.
+  static void tail_gather(const double* coords, std::size_t dim,
+                          const index_t* ids, std::size_t r,
+                          const double* center, double* best)
+    requires HasMaskedTail<V>
+  {
+    const double* rows[W];
+    for (std::size_t j = 0; j < r; ++j) {
+      rows[j] = coords + static_cast<std::size_t>(ids[j]) * dim;
+    }
+    const auto m = V::tail_mask(r);
+    reg acc = V::zero();
+    for (std::size_t d = 0; d < dim; ++d) {
+      acc = accum(acc, V::sub(V::maskz_load_rows(rows, d, r),
+                              V::set1(center[d])));
+    }
+    V::mask_storeu(best, m, V::vmin(acc, V::maskz_loadu(m, best)));
   }
 
   static void nearest_contig(const double* rows, std::size_t dim,
@@ -91,8 +171,12 @@ struct SimdKernels {
       }
     }
     if (i < n) {
-      scalar::nearest_contig(rows + dim * i, dim, n - i, center, best + i,
-                             kPair);
+      if constexpr (HasMaskedTail<V>) {
+        tail_contig(rows + dim * i, dim, n - i, center, best + i);
+      } else {
+        scalar::nearest_contig(rows + dim * i, dim, n - i, center, best + i,
+                               kPair);
+      }
     }
   }
 
@@ -126,8 +210,12 @@ struct SimdKernels {
       }
     }
     if (i < n) {
-      scalar::nearest_gather(coords, dim, ids + i, n - i, center, best + i,
-                             kPair);
+      if constexpr (HasMaskedTail<V>) {
+        tail_gather(coords, dim, ids + i, n - i, center, best + i);
+      } else {
+        scalar::nearest_gather(coords, dim, ids + i, n - i, center, best + i,
+                               kPair);
+      }
     }
   }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "exec/cpu_clock.hpp"
+
 namespace kc::mr {
 
 namespace {
@@ -58,15 +60,21 @@ RoundStats& SimCluster::run_round(std::string_view name, std::span<Task> tasks,
 
   // Each wrapper runs entirely on whichever thread the backend picks,
   // so the WorkScope reads that thread's counters around exactly this
-  // task — per-machine attribution is backend-independent.
+  // task — per-machine attribution is backend-independent. Simulated
+  // time is the task's *thread CPU time*, not wall time: the paper's
+  // per-machine processing time must not inflate when parallel tasks
+  // contend for host cores, and must not count a task's blocked time.
+  // (Work a task fans out to other threads through the sharded kernels
+  // is not charged to it; the metric stays fully faithful under the
+  // sequential backend, where everything runs inline.)
   std::vector<exec::ExecutionBackend::Task> wrapped;
   wrapped.reserve(tasks.size());
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     wrapped.emplace_back([&tasks, &task_seconds, &task_evals, t] {
       const WorkScope work;
-      const auto start = Clock::now();
+      const double cpu_start = exec::thread_cpu_seconds();
       tasks[t]();
-      task_seconds[t] = seconds_since(start);
+      task_seconds[t] = exec::thread_cpu_seconds() - cpu_start;
       task_evals[t] = work.elapsed().distance_evals;
     });
   }

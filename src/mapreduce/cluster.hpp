@@ -3,11 +3,17 @@
 // Executes the reducer tasks of one round through a pluggable
 // execution backend (src/exec): sequentially (the paper's methodology:
 // run each simulated machine in turn and charge the round the
-// *maximum* per-machine time), on OpenMP host threads, or on a
-// persistent thread pool. Either way, each task is timed individually
-// and its distance-evaluation work is attributed via the thread-local
-// counters, so the simulated-time metric — and every simulated count —
-// is identical across execution backends.
+// *maximum* per-machine time), on OpenMP host threads, or on the
+// work-stealing scheduler. Either way, each task is timed individually
+// with its thread's CPU clock (CLOCK_THREAD_CPUTIME_ID, see
+// exec/cpu_clock.hpp) — so contention for host cores or a blocked task
+// cannot inflate simulated time — and its distance-evaluation work is
+// attributed via the thread-local counters, so every simulated *count*
+// is identical across execution backends. Simulated *times* are exact
+// under the sequential backend (a task's scans run inline on its own
+// thread); under parallel backends, scan work a task fans out to other
+// threads is not charged to it, so per-machine times are a lower bound
+// there — produce paper figures with --exec=seq.
 #pragma once
 
 #include <functional>

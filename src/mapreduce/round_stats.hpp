@@ -6,6 +6,12 @@
 // that MapReduce round." RoundStats records exactly that quantity
 // (max_machine_seconds) plus enough detail to audit it: total work,
 // per-round shuffle volume, and distance-evaluation counts.
+//
+// Per-machine times are measured with the task thread's CPU clock
+// (exec/cpu_clock.hpp), not wall time: a machine's processing time is
+// the work it performed, so neither host-core contention under the
+// parallel backends nor a blocked task can inflate the simulated
+// metric. wall_seconds remains host wall time for the whole round.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +26,8 @@ struct RoundStats {
   int machines_used = 0;       ///< reducers that ran this round
 
   double max_machine_seconds = 0.0;   ///< the paper's "processing time"
-  double total_machine_seconds = 0.0; ///< sum over machines (true work)
+                                      ///  (max per-task thread CPU time)
+  double total_machine_seconds = 0.0; ///< sum of per-task CPU times
   double wall_seconds = 0.0;          ///< host wall time for the round
 
   std::uint64_t max_machine_dist_evals = 0;

@@ -181,14 +181,27 @@ TEST(ApiSolver, BudgetStopsMultiRoundMrgMidRun) {
   const api::SolveReport full = solver.solve(reference);
   ASSERT_GE(full.iterations, 2);
 
-  // A budget below the full cost stops the run at a round boundary.
+  // Budget enforcement lives in the chunk-gated kernels: a starved
+  // budget aborts inside the first round's first scan, before any
+  // progress tick can fire.
   api::SolveRequest budgeted = multi_round_request(data);
   budgeted.max_dist_evals = 1;
   int events = 0;
   budgeted.progress = [&events](const ProgressEvent&) { ++events; };
   EXPECT_EQ(error_kind_of(budgeted), ErrorKind::BudgetExceeded);
-  // The budget check runs before the user callback on each tick.
   EXPECT_EQ(events, 0);
+
+  // A mid-run budget (covers round 1, not the whole job) lets at least
+  // one round complete — its progress event fires — and still aborts
+  // with BudgetExceeded before reaching the reference's total.
+  api::SolveRequest mid = multi_round_request(data);
+  mid.budget = std::make_shared<exec::EvalBudget>(
+      full.trace.rounds()[0].total_dist_evals + 100);
+  int mid_events = 0;
+  mid.progress = [&mid_events](const ProgressEvent&) { ++mid_events; };
+  EXPECT_EQ(error_kind_of(mid), ErrorKind::BudgetExceeded);
+  EXPECT_GE(mid_events, 1);
+  EXPECT_LT(mid.budget->consumed(), full.dist_evals);
 }
 
 TEST(ApiSolver, CancellationStopsMrgWithinOneRound) {

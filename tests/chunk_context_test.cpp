@@ -1,0 +1,333 @@
+// Chunk-granular stop conditions: the EvalBudget primitive, the gated
+// oracle scans (cancel/budget observed between ~kGateEvals-pair
+// chunks, on every backend), and the end-to-end acceptance bar — an
+// MRG/EIM solve whose single round performs >= 10M point-pair
+// evaluations stops well short of the full scan when its budget runs
+// dry or its token fires, with Error::budget-exceeded / cancelled
+// semantics preserved through the facade.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "data/generators.hpp"
+#include "exec/chunk_context.hpp"
+#include "test_util.hpp"
+
+namespace kc {
+namespace {
+
+using exec::ChunkContext;
+using exec::EvalBudget;
+using exec::StopReason;
+
+// -------------------------------------------------------------- EvalBudget
+
+TEST(EvalBudget, ChargesUntilExhaustedWithoutPartialDeduction) {
+  EvalBudget budget(100);
+  EXPECT_TRUE(budget.try_charge(60));
+  EXPECT_EQ(budget.consumed(), 60u);
+  EXPECT_FALSE(budget.try_charge(50));  // would overdraw: nothing deducted
+  EXPECT_EQ(budget.consumed(), 60u);
+  EXPECT_TRUE(budget.try_charge(40));  // exactly the remainder is fine
+  EXPECT_EQ(budget.consumed(), 100u);
+  EXPECT_EQ(budget.remaining(), 0u);
+  EXPECT_FALSE(budget.try_charge(1));
+}
+
+TEST(EvalBudget, ConcurrentChargesNeverOverdraw) {
+  constexpr std::uint64_t kLimit = 100'000;
+  EvalBudget budget(kLimit);
+  std::atomic<std::uint64_t> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) {
+        if (budget.try_charge(7)) granted.fetch_add(7);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(granted.load(), budget.consumed());
+  EXPECT_LE(budget.consumed(), kLimit);
+  // 8 * 10'000 * 7 = 560'000 demanded: the budget must be (nearly)
+  // fully handed out — at most one failed last charge of slack.
+  EXPECT_GE(budget.consumed(), kLimit - 7);
+}
+
+TEST(ChunkContext, ChecksCancelBeforeBudgetAndChargesNothingOnStop) {
+  ChunkContext ctx;
+  ctx.cancel = CancellationToken::make();
+  ctx.budget = std::make_shared<EvalBudget>(1000);
+  EXPECT_TRUE(ctx.armed());
+  EXPECT_EQ(ctx.charge(100), StopReason::None);
+  ctx.cancel.request_cancel();
+  EXPECT_EQ(ctx.charge(100), StopReason::Cancelled);  // not BudgetExhausted
+  EXPECT_EQ(ctx.budget->consumed(), 100u);            // stop charged nothing
+  EXPECT_EQ(ctx.check(), StopReason::Cancelled);
+}
+
+TEST(ChunkContext, InertByDefault) {
+  const ChunkContext ctx;
+  EXPECT_FALSE(ctx.armed());
+  EXPECT_EQ(ctx.check(), StopReason::None);
+  EXPECT_EQ(ctx.charge(std::uint64_t{1} << 40), StopReason::None);
+}
+
+// ------------------------------------------------------ gated oracle scans
+
+class GatedScans : public ::testing::TestWithParam<exec::BackendKind> {};
+
+TEST_P(GatedScans, BudgetStopsUpdateNearestMultiWithinOneGate) {
+  if (!exec::backend_available(GetParam())) GTEST_SKIP();
+  const auto backend = exec::make_backend(GetParam(), 4);
+
+  // 1M ids x 16 centers = 16M pair evals in one bulk scan.
+  Rng rng(11);
+  const PointSet data = data::generate_gau(1'000'000, 16, 2, 100.0, 0.5, rng);
+  DistanceOracle oracle(data);
+  oracle.bind_executor(backend.get());
+
+  constexpr std::uint64_t kBudget = 100'000;
+  ChunkContext ctx;
+  ctx.budget = std::make_shared<EvalBudget>(kBudget);
+  oracle.bind_context(&ctx);
+
+  const std::vector<index_t> ids = data.all_indices();
+  std::vector<index_t> centers(16);
+  std::iota(centers.begin(), centers.end(), index_t{0});
+  std::vector<double> best(ids.size(), kInfDist);
+
+  EXPECT_THROW(oracle.update_nearest_multi(ids, centers, best),
+               BudgetExceededError);
+  // The scan stopped within one gate chunk of exhaustion: everything
+  // the budget could cover ran, nothing beyond one further gate did.
+  EXPECT_LE(ctx.budget->consumed(), kBudget);
+  EXPECT_GE(ctx.budget->consumed(), kBudget - exec::kGateEvals);
+}
+
+TEST_P(GatedScans, CancellationStopsScanMidFlight) {
+  if (!exec::backend_available(GetParam())) GTEST_SKIP();
+  const auto backend = exec::make_backend(GetParam(), 4);
+
+  Rng rng(12);
+  const PointSet data = data::generate_gau(1'000'000, 16, 2, 100.0, 0.5, rng);
+  DistanceOracle oracle(data);
+  oracle.bind_executor(backend.get());
+
+  // Huge-limit budget as an odometer: the canceller waits for the scan
+  // to start (first gate charged), fires, and the scan must stop well
+  // short of its 16M pair evaluations.
+  constexpr std::uint64_t kTotalEvals = 16'000'000;
+  ChunkContext ctx;
+  ctx.cancel = CancellationToken::make();
+  ctx.budget = std::make_shared<EvalBudget>(std::uint64_t{1} << 40);
+  oracle.bind_context(&ctx);
+
+  std::thread canceller([&] {
+    while (ctx.budget->consumed() == 0) std::this_thread::yield();
+    ctx.cancel.request_cancel();
+  });
+
+  const std::vector<index_t> ids = data.all_indices();
+  std::vector<index_t> centers(16);
+  std::iota(centers.begin(), centers.end(), index_t{0});
+  std::vector<double> best(ids.size(), kInfDist);
+  // On a loaded (or single-core) host the canceller may not get a
+  // timeslice before one scan finishes, so keep scanning until the
+  // token lands; it must then stop the in-flight scan between gates,
+  // well short of that scan's 16M pair evaluations.
+  bool cancelled = false;
+  std::uint64_t consumed_before_last = 0;
+  for (int scan = 0; scan < 1000 && !cancelled; ++scan) {
+    consumed_before_last = ctx.budget->consumed();
+    try {
+      oracle.update_nearest_multi(ids, centers, best);
+    } catch (const CancelledError&) {
+      cancelled = true;
+    }
+  }
+  canceller.join();
+  ASSERT_TRUE(cancelled);
+  EXPECT_LT(ctx.budget->consumed() - consumed_before_last, kTotalEvals);
+}
+
+TEST_P(GatedScans, CompletedScansChargeExactlyTheirEvalsAndStayBitIdentical) {
+  if (!exec::backend_available(GetParam())) GTEST_SKIP();
+  const auto backend = exec::make_backend(GetParam(), 4);
+
+  const PointSet data = test::small_gaussian_instance(8, 4000, 13);
+  const std::vector<index_t> ids = data.all_indices();
+  const std::size_t n = ids.size();
+
+  // Ungated reference.
+  DistanceOracle plain(data);
+  plain.bind_executor(backend.get());
+  std::vector<double> want(n, kInfDist);
+  plain.update_nearest(ids, 0, want);
+  const auto pair_matrix_want = plain.pairwise_comparable(
+      std::span<const index_t>(ids).subspan(0, 600));
+
+  // Gated run with an ample budget: identical results, exact charge.
+  DistanceOracle gated(data);
+  gated.bind_executor(backend.get());
+  ChunkContext ctx;
+  ctx.budget = std::make_shared<EvalBudget>(std::uint64_t{1} << 40);
+  gated.bind_context(&ctx);
+
+  std::vector<double> got(n, kInfDist);
+  gated.update_nearest(ids, 0, got);
+  EXPECT_EQ(ctx.budget->consumed(), n);
+  EXPECT_EQ(got, want);
+
+  const auto before = ctx.budget->consumed();
+  const auto pair_matrix_got = gated.pairwise_comparable(
+      std::span<const index_t>(ids).subspan(0, 600));
+  EXPECT_EQ(ctx.budget->consumed() - before, 600u * 599u / 2u);
+  EXPECT_EQ(pair_matrix_got, pair_matrix_want);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, GatedScans,
+                         ::testing::Values(exec::BackendKind::Sequential,
+                                           exec::BackendKind::OpenMP,
+                                           exec::BackendKind::ThreadPool),
+                         [](const auto& info) {
+                           return std::string(exec::to_string(info.param));
+                         });
+
+// ------------------------------------------------- facade acceptance bar
+
+/// MRG request whose whole job is one MapReduce round performing
+/// >= 10M point-pair evaluations: one machine, capacity n, so the
+/// while loop never runs and the final round is Gonzalez on all 1M
+/// points with k = 11 — ten 1M-point scans.
+api::SolveRequest ten_megapair_single_round_request(const PointSet& data,
+                                                    const char* algorithm) {
+  api::SolveRequest request;
+  request.points = &data;
+  request.k = 11;
+  request.algorithm = algorithm;
+  request.exec.machines = 1;
+  request.seed = 3;
+  return request;
+}
+
+class HugeRoundStops : public ::testing::Test {
+ protected:
+  static const PointSet& data() {
+    static const PointSet* points = [] {
+      Rng rng(21);
+      return new PointSet(
+          data::generate_gau(1'000'000, 16, 2, 100.0, 0.5, rng));
+    }();
+    return *points;
+  }
+};
+
+TEST_F(HugeRoundStops, MrgBudgetExhaustionStopsWithinOneChunkOfTheScan) {
+  api::SolveRequest request = ten_megapair_single_round_request(data(), "mrg");
+  constexpr std::uint64_t kBudget = 150'000;
+  request.budget = std::make_shared<EvalBudget>(kBudget);
+  api::Solver solver;
+  try {
+    (void)solver.solve(request);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const api::Error& e) {
+    EXPECT_EQ(e.kind(), api::ErrorKind::BudgetExceeded);
+  }
+  // The round would have evaluated >= 10M pairs; the gated kernels
+  // stopped it within one gate chunk of the budget.
+  EXPECT_LE(request.budget->consumed(), kBudget);
+  EXPECT_GE(request.budget->consumed(), kBudget - exec::kGateEvals);
+}
+
+TEST_F(HugeRoundStops, EimBudgetExhaustionStopsMidIteration) {
+  api::SolveRequest request = ten_megapair_single_round_request(data(), "eim");
+  request.exec.machines = 16;
+  constexpr std::uint64_t kBudget = 150'000;
+  request.budget = std::make_shared<EvalBudget>(kBudget);
+  api::Solver solver;
+  try {
+    (void)solver.solve(request);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const api::Error& e) {
+    EXPECT_EQ(e.kind(), api::ErrorKind::BudgetExceeded);
+  }
+  EXPECT_LE(request.budget->consumed(), kBudget);
+  EXPECT_GE(request.budget->consumed(), kBudget - exec::kGateEvals);
+}
+
+TEST_F(HugeRoundStops, MrgCancellationStopsMidScan) {
+  api::SolveRequest request = ten_megapair_single_round_request(data(), "mrg");
+  const CancellationToken token = CancellationToken::make();
+  request.cancel = token;
+  // Odometer only — never exhausted.
+  request.budget = std::make_shared<EvalBudget>(std::uint64_t{1} << 40);
+
+  std::thread canceller([&] {
+    while (request.budget->consumed() == 0) std::this_thread::yield();
+    token.request_cancel();
+  });
+  api::Solver solver;
+  // Loop until the token lands (a starved canceller thread may miss
+  // the first solve entirely); once it does, the in-flight solve must
+  // stop between chunks — its >= 10M-pair round cut short.
+  bool cancelled = false;
+  std::uint64_t consumed_before_last = 0;
+  for (int attempt = 0; attempt < 1000 && !cancelled; ++attempt) {
+    consumed_before_last = request.budget->consumed();
+    try {
+      (void)solver.solve(request);
+    } catch (const api::Error& e) {
+      ASSERT_EQ(e.kind(), api::ErrorKind::Cancelled);
+      cancelled = true;
+    }
+  }
+  canceller.join();
+  ASSERT_TRUE(cancelled);
+  EXPECT_LT(request.budget->consumed() - consumed_before_last, 10'000'000u);
+}
+
+TEST_F(HugeRoundStops, AmpleBudgetDoesNotPerturbTheSolve) {
+  api::SolveRequest budgeted =
+      ten_megapair_single_round_request(data(), "mrg");
+  budgeted.budget = std::make_shared<EvalBudget>(std::uint64_t{1} << 40);
+  api::SolveRequest plain = ten_megapair_single_round_request(data(), "mrg");
+  api::Solver solver;
+  const api::SolveReport a = solver.solve(budgeted);
+  const api::SolveReport b = solver.solve(plain);
+  EXPECT_EQ(a.centers, b.centers);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.dist_evals, b.dist_evals);
+  // A completed job's budget odometer equals its kernel evaluations
+  // (single-pair calls are counted by the counters only).
+  EXPECT_LE(budgeted.budget->consumed(), a.dist_evals);
+  EXPECT_GT(budgeted.budget->consumed(), a.dist_evals * 9 / 10);
+}
+
+/// One budget shared across requests: the service pattern. The second
+/// solve starts with whatever the first left over.
+TEST(SharedBudget, SpansMultipleSolves) {
+  const PointSet data = test::small_gaussian_instance(6, 200, 31);
+  api::SolveRequest request;
+  request.points = &data;
+  request.k = 6;
+  request.algorithm = "gon";
+  const auto shared = std::make_shared<EvalBudget>(1'000'000);
+  request.budget = shared;
+
+  api::Solver solver;
+  (void)solver.solve(request);
+  const std::uint64_t after_first = shared->consumed();
+  EXPECT_GT(after_first, 0u);
+  (void)solver.solve(request);
+  EXPECT_GT(shared->consumed(), after_first);
+}
+
+}  // namespace
+}  // namespace kc

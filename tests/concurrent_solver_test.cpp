@@ -1,0 +1,110 @@
+// Concurrent Solver instances sharing one execution backend: with the
+// work-stealing scheduler, two jobs submitted from different threads
+// interleave across the pool's workers (TaskGroups isolate their
+// completion and errors) — and every simulated metric must still be
+// bit-identical to a sequential-backend run of the same request, per
+// the backend-invariance contract.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace kc {
+namespace {
+
+struct Job {
+  const char* algorithm;
+  std::size_t k;
+  std::uint64_t seed;
+};
+
+api::SolveRequest request_for(const PointSet& data, const Job& job) {
+  api::SolveRequest request;
+  request.points = &data;
+  request.k = job.k;
+  request.algorithm = job.algorithm;
+  request.seed = job.seed;
+  request.exec.machines = 16;
+  return request;
+}
+
+TEST(ConcurrentSolvers, TwoThreadsOneBackendBitIdenticalToSequential) {
+  const PointSet data = test::small_gaussian_instance(16, 2'000, 77);
+  const Job jobs[2] = {{"mrg", 16, 5}, {"eim", 8, 9}};
+
+  // Sequential-backend references, one at a time.
+  std::vector<api::SolveReport> want;
+  for (const Job& job : jobs) {
+    api::SolveRequest request = request_for(data, job);
+    api::Solver solver;
+    want.push_back(solver.solve(request));
+  }
+
+  // Both jobs at once, from different threads, on one shared pool.
+  // Several repetitions so thread interleavings actually vary.
+  const auto backend = exec::make_backend(exec::BackendKind::ThreadPool, 4);
+  for (int repetition = 0; repetition < 5; ++repetition) {
+    std::vector<api::SolveReport> got(2);
+    std::vector<std::thread> threads;
+    for (int j = 0; j < 2; ++j) {
+      threads.emplace_back([&, j] {
+        api::SolveRequest request = request_for(data, jobs[j]);
+        request.exec.backend = backend;
+        api::Solver solver;
+        got[static_cast<std::size_t>(j)] = solver.solve(request);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+
+    for (int j = 0; j < 2; ++j) {
+      SCOPED_TRACE(std::string(jobs[j].algorithm) + " rep " +
+                   std::to_string(repetition));
+      const auto& w = want[static_cast<std::size_t>(j)];
+      const auto& g = got[static_cast<std::size_t>(j)];
+      EXPECT_EQ(g.centers, w.centers);
+      EXPECT_EQ(g.value, w.value);
+      EXPECT_EQ(g.radius_comparable, w.radius_comparable);
+      EXPECT_EQ(g.iterations, w.iterations);
+      EXPECT_EQ(g.rounds, w.rounds);
+      EXPECT_EQ(g.dist_evals, w.dist_evals);
+      EXPECT_EQ(g.backend, "threadpool");
+    }
+  }
+}
+
+TEST(ConcurrentSolvers, ManySmallJobsFromManyThreadsAllCorrect) {
+  const PointSet data = test::small_gaussian_instance(8, 250, 78);
+  api::SolveRequest reference;
+  reference.points = &data;
+  reference.k = 8;
+  reference.algorithm = "mrg";
+  reference.seed = 13;
+  reference.exec.machines = 8;
+  api::Solver reference_solver;
+  const api::SolveReport want = reference_solver.solve(reference);
+
+  const auto backend = exec::make_backend(exec::BackendKind::ThreadPool, 4);
+  constexpr int kThreads = 6;
+  std::vector<std::vector<index_t>> centers(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 4; ++i) {
+        api::SolveRequest request = reference;
+        request.exec.backend = backend;
+        api::Solver solver;
+        centers[static_cast<std::size_t>(t)] = solver.solve(request).centers;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(centers[static_cast<std::size_t>(t)], want.centers)
+        << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace kc

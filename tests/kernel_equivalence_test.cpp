@@ -147,6 +147,62 @@ TEST_P(KernelEquivalence, UpdateNearestBitIdenticalAcrossIsas) {
   }
 }
 
+// Masked-tail contract (AVX-512 replaces the scalar tail loop with
+// lane-masked kernels): every ragged remainder 1..W-1 must stay
+// bit-identical to scalar when the scan ends exactly at the end of its
+// allocations, and the masked store must leave best[] beyond n
+// untouched. The buffers here have zero slack after the last element,
+// so a tail that over-reads or over-writes by even one double corrupts
+// the guard values or faults under a sanitizer.
+TEST_P(KernelEquivalence, RaggedTailsExactBufferEndAndNoOverstore) {
+  const auto levels = simd_levels_available();
+  if (levels.empty()) GTEST_SKIP() << "no SIMD kernels on this host";
+  const KernelTable* scalar = simd::kernels_for(IsaLevel::Scalar);
+  const auto m = static_cast<std::size_t>(GetParam());
+  constexpr double kGuard = -1234.5;
+
+  Rng rng(97);
+  for (std::size_t dim = 1; dim <= 9; ++dim) {
+    const auto center = random_coords(dim, rng);
+    for (std::size_t n = 1; n <= 17; ++n) {
+      // Coordinates sized exactly n rows — no slack for an over-read.
+      const auto coords = random_coords(n * dim, rng);
+      std::vector<index_t> ids(n);
+      for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<index_t>(i);
+      const auto init = random_best(n, rng);
+
+      std::vector<double> want = init;
+      scalar->nearest_contig[m](coords.data(), dim, n, center.data(),
+                                want.data());
+      for (const IsaLevel level : levels) {
+        const KernelTable* table = simd::kernels_for(level);
+        SCOPED_TRACE(std::string(table->name) + " dim=" + std::to_string(dim) +
+                     " n=" + std::to_string(n));
+        // Guard slots after best[n): a masked store must not touch them.
+        std::vector<double> got(init);
+        got.resize(n + 8, kGuard);
+        table->nearest_contig[m](coords.data(), dim, n, center.data(),
+                                 got.data());
+        for (std::size_t i = n; i < got.size(); ++i) {
+          EXPECT_EQ(got[i], kGuard) << "overstore at " << i;
+        }
+        got.resize(n);
+        expect_bit_identical(got, want);
+
+        got = init;
+        got.resize(n + 8, kGuard);
+        table->nearest_gather[m](coords.data(), dim, ids.data(), n,
+                                 center.data(), got.data());
+        for (std::size_t i = n; i < got.size(); ++i) {
+          EXPECT_EQ(got[i], kGuard) << "overstore at " << i;
+        }
+        got.resize(n);
+        expect_bit_identical(got, want);
+      }
+    }
+  }
+}
+
 TEST_P(KernelEquivalence, BlockedMultiMatchesRepeatedSingleCenterPasses) {
   const auto levels = simd_levels_available();
   if (levels.empty()) GTEST_SKIP() << "no SIMD kernels on this host";

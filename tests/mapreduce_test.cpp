@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -203,6 +204,52 @@ TEST(SimCluster, MaxMachineTimeDominatesSkewedRound) {
   // The max must be a large share of the total: the two idle machines
   // contribute (almost) nothing.
   EXPECT_GT(round.max_machine_seconds, 0.5 * round.total_machine_seconds);
+}
+
+// Simulated time is per-task *thread CPU time*: a task that sleeps
+// (or blocks on I/O, or waits for a core) performs no work, so it must
+// not inflate the paper's processing-time metric the way wall-clock
+// charging did.
+TEST(SimCluster, WallClockSleepDoesNotInflateSimulatedTime) {
+  for (const auto kind :
+       {exec::BackendKind::Sequential, exec::BackendKind::ThreadPool}) {
+    const SimCluster cluster(3, 0, kind, /*threads=*/3);
+    JobTrace trace;
+    cluster.run_indexed_round(
+        "sleepy", 3,
+        [&](int machine) {
+          if (machine == 1) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(60));
+          }
+        },
+        trace);
+    const auto& round = trace.rounds()[0];
+    // 60ms of sleep, virtually zero CPU: the simulated max must be far
+    // below the wall time of the sleeping task.
+    EXPECT_LT(round.max_machine_seconds, 0.030)
+        << "backend " << exec::to_string(kind);
+    EXPECT_GE(round.wall_seconds, 0.050);
+  }
+}
+
+// And a task that *computes* is charged its CPU time even when other
+// tasks contend for the host: the busy task's charge reflects its own
+// work, not the host's scheduling.
+TEST(SimCluster, BusyTaskChargedItsOwnCpuTime) {
+  const SimCluster cluster(2);
+  JobTrace trace;
+  cluster.run_indexed_round(
+      "busy", 2,
+      [&](int machine) {
+        if (machine == 0) {
+          volatile double sink = 0.0;
+          for (int i = 0; i < 2'000'000; ++i) sink += i * 0.5;
+        }
+      },
+      trace);
+  const auto& round = trace.rounds()[0];
+  EXPECT_GT(round.max_machine_seconds, 0.0);
+  EXPECT_GE(round.total_machine_seconds, round.max_machine_seconds);
 }
 
 TEST(SimCluster, AttributesDistanceWorkToRound) {
