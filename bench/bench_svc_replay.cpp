@@ -1,0 +1,159 @@
+// Service-layer bench: replay a JSONL request log through the
+// svc::ServiceLoop and measure the batch front-end itself — request
+// throughput on the sequential vs. the shared-pool substrate, the
+// admission/codec overhead against driving the Solver directly, and
+// enforcement coverage (every over-budget request answered
+// budget-exceeded, every malformed line bad-request).
+//
+// Flags (besides the kcb common ones):
+//   --requests=N   synthetic log length        (default 1000; quick 64)
+//   --points=N     points per request          (default 256)
+//   --k=N          centers per request         (default 8)
+//   --budget=N     per-request eval cap (0 = uncapped; default sized
+//                  so roughly the EIM/CCM half of the mix exceeds it)
+//   --gen=PATH     write the synthetic log to PATH and exit
+//   --log=PATH     replay PATH instead of generating in memory
+//   --json=PATH    emit measurements as JSON (default BENCH_svc.json)
+#include <fstream>
+#include <sstream>
+
+#include "common.hpp"
+#include "replay.hpp"
+
+namespace {
+
+struct Measurement {
+  std::string name;
+  double value;
+  std::string unit;
+};
+
+double run_replay(const std::string& log, const kc::svc::ServiceConfig& config,
+                  kcb::ReplayResult* out) {
+  std::istringstream in(log);
+  *out = kcb::replay_log(in, config);
+  return out->seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kc::cli::Args args(argc, argv);
+  try {
+    if (kc::cli::list_algos(args, stdout)) return 0;
+    kcb::BenchOptions options = kcb::parse_common(args);
+
+    kcb::LogSpec spec;
+    spec.requests = args.size("requests", options.quick ? 64 : 1000);
+    spec.points = args.size("points", 256);
+    spec.k = args.size("k", 8);
+    spec.machines = options.machines == 50 ? 8 : options.machines;
+    spec.seed = options.seed;
+    // Default cap: on this workload shape, solve + budgeted offline
+    // eval lands near points*k*2 for GON/EIM, a bit above for MRG and
+    // near points*k*3 for CCM — so this cap passes the light three and
+    // fails the CCM quarter of the mix, exercising both report paths.
+    spec.max_dist_evals = args.size("budget", spec.points * spec.k * 5 / 2);
+
+    const auto gen_path = args.str("gen");
+    const auto log_path = args.str("log");
+    const std::string json_path =
+        args.str("json").value_or("BENCH_svc.json");
+    kc::cli::reject_unknown_flags(args);
+
+    if (gen_path) {
+      std::ofstream out(*gen_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", gen_path->c_str());
+        return 1;
+      }
+      kcb::write_synthetic_log(out, spec);
+      std::printf("wrote %zu requests to %s\n", spec.requests,
+                  gen_path->c_str());
+      return 0;
+    }
+
+    std::string log;
+    if (log_path) {
+      std::ifstream in(*log_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", log_path->c_str());
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      log = buffer.str();
+    } else {
+      std::ostringstream buffer;
+      kcb::write_synthetic_log(buffer, spec);
+      log = buffer.str();
+    }
+
+    std::vector<Measurement> measurements;
+
+    kc::svc::ServiceConfig seq_config;
+    seq_config.backend = kc::exec::BackendKind::Sequential;
+    seq_config.style.stable = true;
+    kcb::ReplayResult seq;
+    const double seq_seconds = run_replay(log, seq_config, &seq);
+
+    kc::svc::ServiceConfig pool_config;
+    pool_config.backend = kc::exec::BackendKind::ThreadPool;
+    pool_config.threads = options.threads;
+    pool_config.max_in_flight = 4;
+    pool_config.style.stable = true;
+    kcb::ReplayResult pool;
+    const double pool_seconds = run_replay(log, pool_config, &pool);
+
+    const double n = static_cast<double>(seq.lines);
+    measurements.push_back({"replay_requests", n, "count"});
+    measurements.push_back(
+        {"seq_requests_per_second", n / seq_seconds, "req/s"});
+    measurements.push_back(
+        {"pool_requests_per_second", n / pool_seconds, "req/s"});
+    measurements.push_back(
+        {"pool_speedup", seq_seconds / pool_seconds, "x"});
+    measurements.push_back(
+        {"ok_reports", static_cast<double>(pool.stats.completed), "count"});
+    measurements.push_back(
+        {"failed_reports", static_cast<double>(pool.stats.failed), "count"});
+    measurements.push_back(
+        {"rejected", static_cast<double>(pool.stats.rejected), "count"});
+
+    std::printf("replayed %zu requests: seq %.3fs (%.0f req/s)   "
+                "pool %.3fs (%.0f req/s, %.2fx)\n",
+                seq.lines, seq_seconds, n / seq_seconds, pool_seconds,
+                n / pool_seconds, seq_seconds / pool_seconds);
+    std::printf("pool outcome: %llu ok, %llu failed, %llu rejected\n",
+                static_cast<unsigned long long>(pool.stats.completed),
+                static_cast<unsigned long long>(pool.stats.failed),
+                static_cast<unsigned long long>(pool.stats.rejected));
+
+    // The two substrates must agree on every report: same requests,
+    // same order, backend-invariant contents (stable style).
+    if (seq.reports != pool.reports) {
+      std::fprintf(stderr,
+                   "FAIL: sequential and pool replays produced different "
+                   "reports\n");
+      return 1;
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      out << "{\n  \"bench\": \"svc\",\n  \"hw_concurrency\": "
+          << std::thread::hardware_concurrency() << ",\n  \"entries\": [\n";
+      for (std::size_t i = 0; i < measurements.size(); ++i) {
+        out << "    {\"name\": \"" << measurements[i].name
+            << "\", \"value\": " << measurements[i].value << ", \"unit\": \""
+            << measurements[i].unit << "\"}"
+            << (i + 1 < measurements.size() ? "," : "") << "\n";
+      }
+      out << "  ]\n}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_svc_replay: %s\n", e.what());
+    return 2;
+  }
+}

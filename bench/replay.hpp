@@ -1,0 +1,115 @@
+// kcb:: batch-replay driver: feed a recorded JSONL request log through
+// the svc::ServiceLoop the way production traffic would arrive, and
+// measure what the service side costs.
+//
+// Shared by bench_svc_replay (throughput/enforcement measurements) and
+// usable from any bench that wants a service-shaped workload. Also
+// generates synthetic logs so a bench run is self-contained: the
+// generator writes the same JSONL schema the codec parses, so a
+// generated log doubles as a fixture for kcenter_serve itself.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "svc/json.hpp"
+#include "svc/service.hpp"
+
+namespace kcb {
+
+struct LogSpec {
+  std::size_t requests = 1000;
+  std::size_t points = 256;    ///< per request
+  std::size_t dim = 2;
+  std::size_t k = 8;
+  int machines = 8;
+  std::uint64_t seed = 20160412;
+  std::vector<std::string> algorithms = {"gon", "mrg", "eim", "ccm"};
+  std::vector<std::string> tenants = {"alpha", "beta"};
+  /// Per-request eval cap written into every record (0 = none). With
+  /// the default workload ~1/3 of requests exceed it, exercising the
+  /// budget-exceeded path at scale.
+  std::uint64_t max_dist_evals = 0;
+};
+
+/// Writes `spec.requests` JSONL request records. Coordinates are
+/// uniform in [0, 100)^dim from the spec seed, so a log regenerates
+/// bit-identically.
+inline void write_synthetic_log(std::ostream& out, const LogSpec& spec) {
+  kc::Rng rng(spec.seed);
+  for (std::size_t r = 0; r < spec.requests; ++r) {
+    std::string line = "{\"id\": " + std::to_string(r + 1);
+    line += ", \"tenant\": \"" +
+            spec.tenants[r % spec.tenants.size()] + "\"";
+    line += ", \"algorithm\": \"" +
+            spec.algorithms[r % spec.algorithms.size()] + "\"";
+    line += ", \"k\": " + std::to_string(spec.k);
+    line += ", \"machines\": " + std::to_string(spec.machines);
+    line += ", \"seed\": " + std::to_string(r + 1);
+    if (spec.max_dist_evals != 0) {
+      line += ", \"max_dist_evals\": " + std::to_string(spec.max_dist_evals);
+    }
+    line += ", \"points\": [";
+    for (std::size_t p = 0; p < spec.points; ++p) {
+      line += p == 0 ? "[" : ", [";
+      for (std::size_t c = 0; c < spec.dim; ++c) {
+        if (c != 0) line += ", ";
+        line += kc::svc::json_number(rng.uniform(0.0, 100.0));
+      }
+      line += "]";
+    }
+    line += "]}\n";
+    out << line;
+  }
+}
+
+struct ReplayResult {
+  std::size_t lines = 0;
+  kc::svc::ServiceLoop::Stats stats;
+  double seconds = 0.0;  ///< wall time from first submit to full drain
+  std::vector<std::string> reports;  ///< emission order
+};
+
+/// Replays a JSONL stream through one ServiceLoop: a producer thread
+/// submits every line (blocking admission = queue backpressure) while
+/// the calling thread runs the consumer loop, exactly like
+/// kcenter_serve's stdin mode.
+inline ReplayResult replay_log(std::istream& in,
+                               const kc::svc::ServiceConfig& config,
+                               std::shared_ptr<kc::exec::ExecutionBackend>
+                                   backend = nullptr) {
+  kc::svc::ServiceLoop service(config, std::move(backend));
+  ReplayResult result;
+  std::mutex mutex;
+  const kc::svc::EmitFn emit = [&](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    result.reports.push_back(line);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread producer([&] {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ++result.lines;
+      if (auto rejection = service.submit(line, emit)) emit(*rejection);
+    }
+    service.close();
+  });
+  service.run();
+  producer.join();
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  result.stats = service.stats();
+  return result;
+}
+
+}  // namespace kcb

@@ -8,6 +8,7 @@
 #include "algo/brute_force.hpp"
 #include "algo/gonzalez.hpp"
 #include "algo/hochbaum_shmoys.hpp"
+#include "core/ccm.hpp"
 #include "core/disjoint_union.hpp"
 #include "core/eim.hpp"
 #include "core/mrg.hpp"
@@ -170,6 +171,19 @@ void run_mrg_du(const SolveContext& ctx, SolveReport& report) {
   fill_from_trace(report, std::move(merged));
 }
 
+void run_ccm(const SolveContext& ctx, SolveReport& report) {
+  CcmOptions options = options_or<CcmOptions>(*ctx.request);
+  options.seed = ctx.request->seed;
+  install_hooks(ctx, options);
+  CcmResult r =
+      ccm(*ctx.oracle, ctx.points, ctx.request->k, *ctx.cluster, options);
+  report.centers = std::move(r.centers);
+  report.radius_comparable = r.radius_comparable;
+  report.final_sample_size = r.coreset_size;
+  report.guarantee = "2+eps (grid coreset)";
+  fill_from_trace(report, std::move(r.trace));
+}
+
 void register_builtins(Registry& registry) {
   registry.add({"gon",
                 {"gonzalez"},
@@ -213,6 +227,16 @@ void register_builtins(Registry& registry) {
                 /*uses_cluster=*/true,
                 options_index_of<DisjointUnionOptions>(),
                 run_mrg_du});
+  // Registered through the same string-keyed seam as the paper's
+  // algorithms: the harness, CLI, benches and the svc/ batch service
+  // all pick it up with zero front-end changes.
+  registry.add({"ccm",
+                {"coy-czumaj-mishra", "grid-coreset"},
+                "grid-coreset parallel k-center, Coy-Czumaj-Mishra style "
+                "(3 rounds; 2+eps via per-machine grid snapping)",
+                /*uses_cluster=*/true,
+                options_index_of<CcmOptions>(),
+                run_ccm});
 }
 
 }  // namespace

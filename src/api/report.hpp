@@ -38,6 +38,12 @@ struct SolveReport {
   bool sampled = false;               ///< EIM: false = degenerated to GON
   std::size_t final_sample_size = 0;  ///< EIM: |C| at loop exit
   std::uint64_t dist_evals = 0;       ///< distance evaluations charged
+  /// Evaluations charged to the request's EvalBudget odometer during
+  /// this solve (solve + offline evaluation when budgeted_eval is on).
+  /// Exact for a budget private to the request; for a budget shared
+  /// across concurrent solves it is the interleaved delta and only
+  /// the budget's own consumed() is authoritative.
+  std::uint64_t budget_consumed = 0;
   mr::JobTrace trace;                 ///< per-round detail (empty for GON/HS)
 
   // ---- Timings and execution facts.

@@ -15,6 +15,7 @@
 
 #include "algo/gonzalez.hpp"
 #include "algo/hochbaum_shmoys.hpp"
+#include "core/ccm.hpp"
 #include "core/disjoint_union.hpp"
 #include "core/eim.hpp"
 #include "core/hooks.hpp"
@@ -41,7 +42,7 @@ struct BruteForceOptions {
 using AlgoOptions =
     std::variant<std::monostate, GonzalezOptions, HochbaumShmoysOptions,
                  BruteForceOptions, MrgOptions, EimOptions,
-                 DisjointUnionOptions>;
+                 DisjointUnionOptions, CcmOptions>;
 
 /// Index of option type T within AlgoOptions (registry entries record
 /// which alternative they accept).
@@ -96,6 +97,18 @@ struct SolveRequest {
   /// after-the-run counter check when non-zero), and the caller can
   /// read consumed() after the solve — including after an aborted one.
   std::shared_ptr<exec::EvalBudget> budget;
+
+  /// Gate the offline value evaluation with the same budget as the
+  /// solve. Off by default, matching the paper's methodology: the
+  /// budget limits the *algorithm's* work and the reported value is
+  /// evaluated for free afterwards. A service front-end handling
+  /// untrusted requests turns it on so the post-solve evaluation scans
+  /// (O(n * k) on the whole input) are charged against the request's
+  /// budget too and no request can burn unbudgeted CPU after its solve
+  /// completes — exhaustion mid-evaluation fails the request with
+  /// BudgetExceeded. The cancellation token is honoured during the
+  /// offline evaluation regardless of this flag.
+  bool budgeted_eval = false;
 
   /// Cooperative hooks (core/hooks.hpp), installed into the algorithm
   /// loops by the Solver; the cancellation token is additionally

@@ -1,6 +1,7 @@
 #include "api/solver.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -20,6 +21,17 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// All coordinates finite? A single NaN would reach the bulk kernels
+/// and poison every comparison (argmax documents its input NaN-free),
+/// so the facade refuses the request up front. O(n * dim) over raw
+/// doubles — noise next to even one O(n * k) solve scan.
+[[nodiscard]] bool all_finite(const PointSet& points) noexcept {
+  for (const double c : points.raw()) {
+    if (!std::isfinite(c)) return false;
+  }
+  return true;
+}
+
 /// Validates everything checkable before any work happens; returns the
 /// registry entry the request names.
 const AlgorithmInfo& validate(const SolveRequest& request) {
@@ -31,6 +43,16 @@ const AlgorithmInfo& validate(const SolveRequest& request) {
   }
   if (request.k == 0) {
     throw Error(ErrorKind::BadRequest, "k must be at least 1");
+  }
+  if (request.k > request.points->size()) {
+    throw Error(ErrorKind::BadRequest,
+                "k = " + std::to_string(request.k) + " exceeds the " +
+                    std::to_string(request.points->size()) +
+                    " points in the set");
+  }
+  if (!all_finite(*request.points)) {
+    throw Error(ErrorKind::BadRequest,
+                "point set contains non-finite coordinates");
   }
   const AlgorithmInfo* info = registry().find(request.algorithm);
   if (info == nullptr) {
@@ -133,6 +155,8 @@ SolveReport Solver::solve(const SolveRequest& request) {
   report.backend = std::string(context.backend->name());
   report.kernel_isa = std::string(simd::to_string(simd::active_level()));
 
+  const std::uint64_t odometer_before =
+      chunk_context.budget != nullptr ? chunk_context.budget->consumed() : 0;
   const WorkScope work;
   const auto start = Clock::now();
   const double cpu_start = exec::thread_cpu_seconds();
@@ -152,10 +176,6 @@ SolveReport Solver::solve(const SolveRequest& request) {
   report.cpu_seconds = exec::thread_cpu_seconds() - cpu_start;
   report.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
-  // The offline value evaluation below must not be gated: it is not
-  // charged to the algorithm, so it must neither consume budget nor
-  // abort a solve that finished within it.
-  oracle.bind_context(nullptr);
 
   // Cluster algorithms take their counts and simulated time from the
   // trace (attributed per machine task, backend-invariant). Sequential
@@ -174,7 +194,35 @@ SolveReport Solver::solve(const SolveRequest& request) {
                     std::to_string(request.max_dist_evals));
   }
 
-  report.value = eval::covering_radius(oracle, all, report.centers).radius;
+  // Offline value evaluation. By default it must not consume budget
+  // (it is not charged to the algorithm, and a solve that finished
+  // within its budget must not be failed by free bookkeeping) — but it
+  // must stay *cancellable*: the evaluation scans are O(n * k) over
+  // the whole input, easily dwarfing a budget-truncated solve. With
+  // budgeted_eval the request's full context (budget included) stays
+  // in force, so no untrusted request can trigger unbudgeted
+  // evaluation work; exhaustion mid-evaluation fails the request.
+  if (report.centers.empty()) {
+    // A runner breaking its contract on a validated request is a
+    // server-side bug, not the client's: deliberately NOT an
+    // api::Error, so front-ends surface it as an internal failure.
+    throw std::logic_error(info.name + ": algorithm returned no centers");
+  }
+  exec::ChunkContext eval_context;
+  eval_context.cancel = request.cancel;
+  if (request.budgeted_eval) eval_context.budget = chunk_context.budget;
+  oracle.bind_context(eval_context.armed() ? &eval_context : nullptr);
+  try {
+    report.value = eval::covering_radius(oracle, all, report.centers).radius;
+  } catch (const BudgetExceededError& e) {
+    throw Error(ErrorKind::BudgetExceeded, e.what());
+  } catch (const CancelledError& e) {
+    throw Error(ErrorKind::Cancelled, e.what());
+  }
+  if (chunk_context.budget != nullptr) {
+    report.budget_consumed =
+        chunk_context.budget->consumed() - odometer_before;
+  }
   return report;
 }
 

@@ -36,6 +36,7 @@
 #include "api/report.hpp"
 #include "api/request.hpp"
 #include "api/solver.hpp"
+#include "core/ccm.hpp"
 #include "core/disjoint_union.hpp"
 #include "core/driver.hpp"
 #include "core/eim.hpp"

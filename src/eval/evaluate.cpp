@@ -1,12 +1,34 @@
 #include "eval/evaluate.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
+
+#include "exec/chunk_context.hpp"
 
 namespace kc::eval {
 
 namespace {
+
+/// The oracle's bound stop-condition context, or nullptr when
+/// evaluation should run ungated (no context, or an inert one).
+[[nodiscard]] const exec::ChunkContext* gate_of(
+    const DistanceOracle& oracle) noexcept {
+  const exec::ChunkContext* ctx = oracle.context();
+  return ctx != nullptr && ctx->armed() ? ctx : nullptr;
+}
+
+/// Points per gate chunk for a scan doing `evals_per_item` pair
+/// evaluations per point.
+[[nodiscard]] std::size_t gate_items(std::size_t evals_per_item) noexcept {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             exec::kGateEvals /
+             std::max<std::uint64_t>(evals_per_item, 1)));
+}
 
 /// Folds best[i] = min(best[i], comparable(pts[i], nearest center)) via
 /// the bulk update_nearest_multi kernels, so evaluation scans get the
@@ -16,7 +38,12 @@ namespace {
 /// When no executor is bound and `parallel` is set, the scan is chunked
 /// across OpenMP threads; chunks write disjoint slices with the same
 /// per-point fold, so the values stay bit-identical to the sequential
-/// pass.
+/// pass. With an armed context each sub-scan is gated by the oracle as
+/// usual; a stop condition must not throw out of the parallel region,
+/// so the chunk that trips it parks the exception, the remaining
+/// chunks see the flag and skip, and the caller's thread rethrows
+/// after the region — evaluation stays OpenMP-parallel *and*
+/// cancellable/budgeted.
 void nearest_comparable_bulk(const DistanceOracle& oracle,
                              std::span<const index_t> pts,
                              std::span<const index_t> centers,
@@ -26,13 +53,24 @@ void nearest_comparable_bulk(const DistanceOracle& oracle,
     constexpr std::size_t kChunk = 4096;
     const auto nchunks =
         static_cast<std::int64_t>((pts.size() + kChunk - 1) / kChunk);
+    std::atomic<bool> stopped{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
 #pragma omp parallel for schedule(static)
     for (std::int64_t b = 0; b < nchunks; ++b) {
+      if (stopped.load(std::memory_order_relaxed)) continue;
       const std::size_t lo = static_cast<std::size_t>(b) * kChunk;
       const std::size_t len = std::min(kChunk, pts.size() - lo);
-      oracle.update_nearest_multi(pts.subspan(lo, len), centers,
-                                  best.subspan(lo, len));
+      try {
+        oracle.update_nearest_multi(pts.subspan(lo, len), centers,
+                                    best.subspan(lo, len));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        stopped.store(true, std::memory_order_relaxed);
+      }
     }
+    if (error) std::rethrow_exception(error);
     return;
   }
 #else
@@ -71,6 +109,25 @@ std::vector<std::uint32_t> assign_clusters(const DistanceOracle& oracle,
   }
   std::vector<std::uint32_t> assignment(pts.size(), 0);
 
+  if (const exec::ChunkContext* ctx = gate_of(oracle)) {
+    // Gated sequential pass: charge one gate's worth of assignments
+    // (|centers| pair evaluations each) before computing them.
+    const std::size_t gate = gate_items(centers.size());
+    for (std::size_t lo = 0; lo < pts.size(); lo += gate) {
+      const std::size_t hi = std::min(pts.size(), lo + gate);
+      const exec::StopReason reason = ctx->charge(
+          static_cast<std::uint64_t>(hi - lo) * centers.size());
+      if (reason != exec::StopReason::None) {
+        exec::ChunkContext::raise(reason, "assign_clusters");
+      }
+      for (std::size_t i = lo; i < hi; ++i) {
+        assignment[i] =
+            static_cast<std::uint32_t>(oracle.nearest_center(pts[i], centers));
+      }
+    }
+    return assignment;
+  }
+
 #ifdef KC_HAVE_OPENMP
 #pragma omp parallel for if (parallel)
 #else
@@ -86,22 +143,38 @@ std::vector<std::uint32_t> assign_clusters(const DistanceOracle& oracle,
 ClusterStats cluster_stats(const DistanceOracle& oracle,
                            std::span<const index_t> pts,
                            std::span<const index_t> centers) {
+  if (centers.empty()) {
+    throw std::invalid_argument("cluster_stats: empty centers");
+  }
   const auto assignment = assign_clusters(oracle, pts, centers);
 
   ClusterStats stats;
   stats.sizes.assign(centers.size(), 0);
   std::vector<double> radii_comp(centers.size(), 0.0);
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    const std::uint32_t c = assignment[i];
-    ++stats.sizes[c];
-    const double d = oracle.comparable(pts[i], centers[c]);
-    if (d > radii_comp[c]) radii_comp[c] = d;
+  const exec::ChunkContext* ctx = gate_of(oracle);
+  const std::size_t gate = ctx != nullptr ? gate_items(1) : pts.size();
+  for (std::size_t lo = 0; lo < pts.size(); lo += gate) {
+    const std::size_t hi = std::min(pts.size(), lo + gate);
+    if (ctx != nullptr) {
+      const exec::StopReason reason =
+          ctx->charge(static_cast<std::uint64_t>(hi - lo));
+      if (reason != exec::StopReason::None) {
+        exec::ChunkContext::raise(reason, "cluster_stats");
+      }
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint32_t c = assignment[i];
+      ++stats.sizes[c];
+      const double d = oracle.comparable(pts[i], centers[c]);
+      if (d > radii_comp[c]) radii_comp[c] = d;
+    }
   }
 
   stats.radii.resize(centers.size());
   double sum = 0.0;
   stats.largest_cluster = 0;
-  stats.smallest_cluster = pts.size();
+  stats.smallest_cluster = 0;
+  std::size_t smallest_nonempty = pts.size() + 1;
   for (std::size_t c = 0; c < centers.size(); ++c) {
     stats.radii[c] = oracle.to_reported(radii_comp[c]);
     sum += stats.radii[c];
@@ -109,10 +182,13 @@ ClusterStats cluster_stats(const DistanceOracle& oracle,
     if (stats.sizes[c] > stats.largest_cluster) {
       stats.largest_cluster = stats.sizes[c];
     }
-    if (stats.sizes[c] < stats.smallest_cluster) {
-      stats.smallest_cluster = stats.sizes[c];
+    if (stats.sizes[c] == 0) {
+      ++stats.empty_clusters;
+    } else if (stats.sizes[c] < smallest_nonempty) {
+      smallest_nonempty = stats.sizes[c];
     }
   }
+  if (smallest_nonempty <= pts.size()) stats.smallest_cluster = smallest_nonempty;
   stats.mean_radius = sum / static_cast<double>(centers.size());
   return stats;
 }

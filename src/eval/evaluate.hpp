@@ -2,6 +2,16 @@
 // radius of the returned centers over the *entire* input, computed
 // offline (it is not charged to any algorithm's runtime, matching the
 // paper's methodology of reporting quality separately from timing).
+//
+// Offline does not mean free: a service evaluating solutions for
+// untrusted requests must be able to stop a runaway evaluation. Every
+// function here therefore honours a ChunkContext bound onto the oracle
+// (DistanceOracle::bind_context) exactly like the solve-path kernels —
+// the scans run in gate chunks of ~exec::kGateEvals pair evaluations,
+// polling the cancellation token and charging the budget per chunk,
+// and throw CancelledError / BudgetExceededError within one chunk of a
+// stop condition. With no bound (or unarmed) context the behaviour is
+// unchanged: unbounded, uncharged offline evaluation.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +29,11 @@ struct Evaluation {
 };
 
 /// Max over `pts` of the distance to the nearest of `centers`.
-/// OpenMP-parallel across points when built with OpenMP and
-/// `parallel` is true.
+/// OpenMP-parallel across points when built with OpenMP, `parallel` is
+/// true and no executor is bound (a bound executor already shards the
+/// bulk kernels). An armed context keeps the OpenMP split: a stop
+/// condition tripping inside one chunk is parked and rethrown on the
+/// calling thread after the region.
 [[nodiscard]] Evaluation covering_radius(const DistanceOracle& oracle,
                                          std::span<const index_t> pts,
                                          std::span<const index_t> centers,
@@ -37,7 +50,14 @@ struct ClusterStats {
   double max_radius = 0.0;              ///< == covering radius
   double mean_radius = 0.0;             ///< average of per-cluster radii
   std::size_t largest_cluster = 0;
+  /// Size of the smallest cluster that owns at least one point. A
+  /// center can own zero points (duplicate centers, or a center
+  /// shadowed by an equidistant earlier one); those clusters are
+  /// reported in `empty_clusters` and excluded here, so the field
+  /// never degenerates to 0 just because a degenerate input produced
+  /// a redundant center.
   std::size_t smallest_cluster = 0;
+  std::size_t empty_clusters = 0;  ///< centers owning no point
 };
 
 /// Per-cluster breakdown of a solution (reported-scale radii).

@@ -22,6 +22,7 @@
 // point.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -57,6 +58,20 @@ class EvalBudget {
     } while (!remaining_.compare_exchange_weak(current, current - evals,
                                                std::memory_order_relaxed));
     return true;
+  }
+
+  /// Returns previously charged evaluations to the budget. The service
+  /// layer reserves a request's worst-case budget from its tenant's
+  /// budget at admission and refunds the unused remainder here once the
+  /// request settles; crediting more than was charged is a caller bug
+  /// (consumed() would underflow) and is clamped.
+  void credit(std::uint64_t evals) noexcept {
+    std::uint64_t current = remaining_.load(std::memory_order_relaxed);
+    std::uint64_t next;
+    do {
+      next = std::min(limit_, current + evals);
+    } while (!remaining_.compare_exchange_weak(current, next,
+                                               std::memory_order_relaxed));
   }
 
   [[nodiscard]] std::uint64_t limit() const noexcept { return limit_; }

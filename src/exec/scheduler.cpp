@@ -409,22 +409,13 @@ detail::TaskNode* Scheduler::find_group_work(detail::GroupCore& group,
   return nullptr;
 }
 
-void Scheduler::execute(detail::TaskNode* node, int slot) {
-  detail::GroupCore* group = node->group.load(std::memory_order_relaxed);
-  try {
-    node->run();
-  } catch (...) {
-    const std::lock_guard<std::mutex> lock(group->mutex);
-    if (!group->error) group->error = std::current_exception();
-  }
-  if (slot >= 0) {
-    slots_[static_cast<std::size_t>(slot)]->executed.fetch_add(
-        1, std::memory_order_relaxed);
-  } else {
-    slotless_executed_.fetch_add(1, std::memory_order_relaxed);
-  }
-  release_node(node, slot);
-  if (group->pending.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+void Scheduler::flush_completions(CompletionBatch& batch) noexcept {
+  detail::GroupCore* group = batch.group;
+  const std::size_t count = batch.count;
+  batch.group = nullptr;
+  batch.count = 0;
+  if (group == nullptr || count == 0) return;
+  if (group->pending.fetch_sub(count, std::memory_order_seq_cst) == count) {
     // Publish completion under the mutex so a waiter can never observe
     // "complete", destroy the group, and leave this thread notifying a
     // dead condition variable. Re-check pending under the lock: the
@@ -439,16 +430,42 @@ void Scheduler::execute(detail::TaskNode* node, int slot) {
   }
 }
 
+void Scheduler::execute(detail::TaskNode* node, int slot,
+                        CompletionBatch& batch) {
+  detail::GroupCore* group = node->group.load(std::memory_order_relaxed);
+  if (batch.group != group) flush_completions(batch);
+  try {
+    node->run();
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(group->mutex);
+    if (!group->error) group->error = std::current_exception();
+  }
+  if (slot >= 0) {
+    slots_[static_cast<std::size_t>(slot)]->executed.fetch_add(
+        1, std::memory_order_relaxed);
+  } else {
+    slotless_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  release_node(node, slot);
+  batch.group = group;
+  ++batch.count;
+}
+
 void Scheduler::wait_for_group(detail::GroupCore& group, int slot) {
   using namespace std::chrono_literals;
+  CompletionBatch batch;
   bool dig = false;  // unbury own-deque tasks only after a fruitless wait
   while (group.pending.load(std::memory_order_seq_cst) != 0) {
     detail::TaskNode* node = find_group_work(group, slot, dig);
     if (node != nullptr) {
       dig = false;
-      execute(node, slot);
+      execute(node, slot, batch);
       continue;
     }
+    // No immediately claimable task: publish our tally first — it may
+    // be the one that completes the group.
+    flush_completions(batch);
+    if (group.pending.load(std::memory_order_seq_cst) == 0) break;
     // Everything left is claimed and running elsewhere — or hiding
     // behind a claim race, or buried in our own deque. The timeout
     // re-scans (with digging armed), bounding both without
@@ -458,6 +475,7 @@ void Scheduler::wait_for_group(detail::GroupCore& group, int slot) {
     group.done.wait_for(lock, 200us);
     dig = true;
   }
+  flush_completions(batch);
   std::unique_lock<std::mutex> lock(group.mutex);
   group.done.wait(lock, [&group] { return group.completed; });
 }
@@ -465,14 +483,17 @@ void Scheduler::wait_for_group(detail::GroupCore& group, int slot) {
 void Scheduler::worker_loop(int slot) {
   using namespace std::chrono_literals;
   t_ref = {this, slot};
+  CompletionBatch batch;
   auto backoff = 1ms;
   for (;;) {
     detail::TaskNode* node = find_any_work(slot);
     if (node != nullptr) {
       backoff = 1ms;
-      execute(node, slot);
+      execute(node, slot, batch);
       continue;
     }
+    // Deque exhausted: publish the tally before anyone waits on it.
+    flush_completions(batch);
     if (stop_.load(std::memory_order_seq_cst)) break;
     // Idle protocol: read the epoch, re-scan, then sleep only if no
     // submission bumped the epoch meanwhile (the seq_cst epoch/idle
@@ -483,7 +504,7 @@ void Scheduler::worker_loop(int slot) {
     node = find_any_work(slot);
     if (node != nullptr) {
       backoff = 1ms;
-      execute(node, slot);
+      execute(node, slot, batch);
       continue;
     }
     idle_workers_.fetch_add(1, std::memory_order_seq_cst);

@@ -216,8 +216,24 @@ class Scheduler {
     std::vector<detail::TaskNode*> node_cache;
   };
 
+  /// Deferred group-completion tally: a run of same-group tasks
+  /// executed back-to-back by one thread decrements the group's
+  /// `pending` once, when the run ends (the thread switches groups,
+  /// finds no immediate work, or is about to sleep) — not once per
+  /// task. Decrements are only ever *delayed*, so `pending` always
+  /// over-approximates outstanding work and a group can never look
+  /// complete while one of its tasks still runs; every code path that
+  /// stops executing tasks flushes first, so completion is published
+  /// promptly. This halves the seq_cst atomic traffic of a chunk
+  /// dispatch (see BENCH_exec.json dispatch_ns_per_chunk_*).
+  struct CompletionBatch {
+    detail::GroupCore* group = nullptr;
+    std::size_t count = 0;
+  };
+  void flush_completions(CompletionBatch& batch) noexcept;
+
   void worker_loop(int slot);
-  void execute(detail::TaskNode* node, int slot);
+  void execute(detail::TaskNode* node, int slot, CompletionBatch& batch);
   [[nodiscard]] detail::TaskNode* find_any_work(int self);
   [[nodiscard]] detail::TaskNode* find_group_work(detail::GroupCore& group,
                                                   int self, bool dig = false);

@@ -1,0 +1,376 @@
+#include "svc/codec.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "api/error.hpp"
+#include "api/registry.hpp"
+#include "svc/json.hpp"
+
+namespace kc::svc {
+
+namespace {
+
+using api::Error;
+using api::ErrorKind;
+
+[[noreturn]] void bad(const std::string& message) {
+  throw Error(ErrorKind::BadRequest, message);
+}
+
+/// `value` as a non-negative integer <= `max` (fits a double exactly).
+[[nodiscard]] std::uint64_t as_uint(const Json& value, const char* field,
+                                    std::uint64_t max) {
+  if (!value.is_number()) {
+    bad(std::string(field) + " must be a number, got " +
+        std::string(to_string(value.type)));
+  }
+  const double n = value.number;
+  if (!(n >= 0) || n > static_cast<double>(max) || n != std::floor(n)) {
+    bad(std::string(field) + " must be an integer in [0, " +
+        std::to_string(max) + "]");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+[[nodiscard]] double as_double(const Json& value, const char* field) {
+  if (!value.is_number()) {
+    bad(std::string(field) + " must be a number, got " +
+        std::string(to_string(value.type)));
+  }
+  return value.number;
+}
+
+[[nodiscard]] const std::string& as_string(const Json& value,
+                                           const char* field) {
+  if (!value.is_string()) {
+    bad(std::string(field) + " must be a string, got " +
+        std::string(to_string(value.type)));
+  }
+  return value.string;
+}
+
+[[nodiscard]] MetricKind parse_metric(const std::string& name) {
+  if (name == "L2" || name == "l2") return MetricKind::L2;
+  if (name == "L1" || name == "l1") return MetricKind::L1;
+  if (name == "Linf" || name == "linf") return MetricKind::Linf;
+  bad("metric must be one of L2, L1, Linf; got '" + name + "'");
+}
+
+[[nodiscard]] PointSet parse_points(const Json& value,
+                                    const CodecLimits& limits) {
+  if (!value.is_array()) {
+    bad("points must be an array of coordinate rows");
+  }
+  if (value.array.empty()) bad("points must not be empty");
+  if (value.array.size() > limits.max_points) {
+    bad("points has " + std::to_string(value.array.size()) +
+        " rows, limit is " + std::to_string(limits.max_points));
+  }
+  const Json& first = value.array.front();
+  if (!first.is_array() || first.array.empty()) {
+    bad("each point must be a non-empty array of numbers");
+  }
+  const std::size_t dim = first.array.size();
+  if (dim > limits.max_dim) {
+    bad("points are " + std::to_string(dim) + "-dimensional, limit is " +
+        std::to_string(limits.max_dim));
+  }
+  // Validate every row before sizing the rows*dim storage: max_points
+  // and max_dim individually admit a hostile line whose product would
+  // be a multi-GiB allocation (2M one-number rows after one
+  // 256-number row), so the n*dim buffer may only be created once the
+  // line is known to really contain that many numbers — which the
+  // line-length limit then bounds.
+  for (std::size_t i = 0; i < value.array.size(); ++i) {
+    const Json& row = value.array[i];
+    if (!row.is_array() || row.array.size() != dim) {
+      bad("points row " + std::to_string(i) + " must be an array of " +
+          std::to_string(dim) + " numbers");
+    }
+    for (std::size_t c = 0; c < dim; ++c) {
+      if (!row.array[c].is_number()) {
+        bad("points row " + std::to_string(i) + " has a non-numeric entry");
+      }
+    }
+  }
+  PointSet points(value.array.size(), dim);
+  for (std::size_t i = 0; i < value.array.size(); ++i) {
+    const Json& row = value.array[i];
+    const std::span<double> out = points.mutable_point(static_cast<index_t>(i));
+    for (std::size_t c = 0; c < dim; ++c) out[c] = row.array[c].number;
+  }
+  return points;
+}
+
+/// Reads one option key shared by several algorithms; `consumed` marks
+/// handled keys so the strict-schema sweep below can flag leftovers.
+struct OptionReader {
+  const Json& object;
+  std::vector<bool> consumed;
+
+  explicit OptionReader(const Json& object)
+      : object(object), consumed(object.object.size(), false) {}
+
+  [[nodiscard]] const Json* take(std::string_view key) {
+    for (std::size_t i = 0; i < object.object.size(); ++i) {
+      if (object.object[i].first == key) {
+        consumed[i] = true;
+        return &object.object[i].second;
+      }
+    }
+    return nullptr;
+  }
+
+  void reject_unconsumed(const std::string& algorithm) const {
+    for (std::size_t i = 0; i < object.object.size(); ++i) {
+      if (!consumed[i]) {
+        bad("options." + object.object[i].first +
+            " is not an option of algorithm '" + algorithm + "'");
+      }
+    }
+  }
+};
+
+[[nodiscard]] GonzalezOptions::FirstCenter parse_first_center(
+    const Json& value) {
+  const std::string& name = as_string(value, "options.first");
+  if (name == "first-point") return GonzalezOptions::FirstCenter::FirstPoint;
+  if (name == "random") return GonzalezOptions::FirstCenter::Random;
+  bad("options.first must be 'first-point' or 'random'; got '" + name + "'");
+}
+
+[[nodiscard]] mr::PartitionStrategy parse_partition(const Json& value) {
+  const std::string& name = as_string(value, "options.partition");
+  if (name == "block") return mr::PartitionStrategy::Block;
+  if (name == "round-robin") return mr::PartitionStrategy::RoundRobin;
+  if (name == "shuffled") return mr::PartitionStrategy::Shuffled;
+  bad("options.partition must be block, round-robin or shuffled; got '" +
+      name + "'");
+}
+
+/// Builds the AlgoOptions variant for `algorithm` from the "options"
+/// object. Only values a batch client legitimately tunes are on the
+/// wire; everything else keeps the registry defaults.
+[[nodiscard]] api::AlgoOptions parse_options(const std::string& algorithm,
+                                             const Json& object) {
+  if (!object.is_object()) bad("options must be an object");
+  OptionReader reader(object);
+  api::AlgoOptions out;
+  if (algorithm == "gon") {
+    GonzalezOptions options;
+    if (const Json* v = reader.take("first")) {
+      options.first = parse_first_center(*v);
+    }
+    out = options;
+  } else if (algorithm == "hs") {
+    HochbaumShmoysOptions options;
+    if (const Json* v = reader.take("max_points")) {
+      options.max_points = as_uint(*v, "options.max_points", 1u << 24);
+    }
+    out = options;
+  } else if (algorithm == "brute") {
+    api::BruteForceOptions options;
+    if (const Json* v = reader.take("max_subsets")) {
+      options.max_subsets = as_uint(*v, "options.max_subsets", ~std::uint64_t{0} >> 11);
+    }
+    out = options;
+  } else if (algorithm == "mrg") {
+    MrgOptions options;
+    if (const Json* v = reader.take("capacity")) {
+      options.capacity = as_uint(*v, "options.capacity", 1ull << 32);
+    }
+    if (const Json* v = reader.take("partition")) {
+      options.partition = parse_partition(*v);
+    }
+    out = options;
+  } else if (algorithm == "eim") {
+    EimOptions options;
+    if (const Json* v = reader.take("epsilon")) {
+      options.epsilon = as_double(*v, "options.epsilon");
+    }
+    if (const Json* v = reader.take("phi")) {
+      options.phi = as_double(*v, "options.phi");
+    }
+    out = options;
+  } else if (algorithm == "mrg-du") {
+    DisjointUnionOptions options;
+    if (const Json* v = reader.take("instances")) {
+      options.instances = as_uint(*v, "options.instances", 1u << 20);
+    }
+    if (const Json* v = reader.take("capacity")) {
+      options.mrg.capacity = as_uint(*v, "options.capacity", 1ull << 32);
+    }
+    out = options;
+  } else if (algorithm == "ccm") {
+    CcmOptions options;
+    if (const Json* v = reader.take("epsilon")) {
+      options.epsilon = as_double(*v, "options.epsilon");
+    }
+    if (const Json* v = reader.take("max_coreset_per_machine")) {
+      options.max_coreset_per_machine =
+          as_uint(*v, "options.max_coreset_per_machine", 1u << 24);
+    }
+    out = options;
+  } else {
+    bad("algorithm '" + algorithm + "' accepts no options on the wire");
+  }
+  reader.reject_unconsumed(algorithm);
+  return out;
+}
+
+}  // namespace
+
+WireRequest parse_request(std::string_view line, const CodecLimits& limits) {
+  if (line.size() > limits.max_line_bytes) {
+    bad("request line of " + std::to_string(line.size()) +
+        " bytes exceeds the " + std::to_string(limits.max_line_bytes) +
+        "-byte limit");
+  }
+  Json root;
+  try {
+    root = Json::parse(line);
+  } catch (const JsonError& e) {
+    bad(std::string("malformed JSON: ") + e.what());
+  }
+  if (!root.is_object()) bad("request must be a JSON object");
+
+  WireRequest wire;
+  bool have_k = false;
+  bool have_points = false;
+  const Json* options_value = nullptr;
+
+  for (const auto& [key, value] : root.object) {
+    if (key == "id") {
+      wire.id = as_uint(value, "id", std::uint64_t{1} << 53);
+    } else if (key == "tenant") {
+      wire.tenant = as_string(value, "tenant");
+      if (wire.tenant.empty()) bad("tenant must be non-empty");
+      if (wire.tenant.size() > limits.max_tenant_bytes) {
+        bad("tenant name of " + std::to_string(wire.tenant.size()) +
+            " bytes exceeds the " + std::to_string(limits.max_tenant_bytes) +
+            "-byte limit");
+      }
+    } else if (key == "algorithm") {
+      wire.request.algorithm = as_string(value, "algorithm");
+    } else if (key == "k") {
+      wire.request.k = as_uint(value, "k", std::uint64_t{1} << 32);
+      have_k = true;
+    } else if (key == "metric") {
+      wire.request.metric = parse_metric(as_string(value, "metric"));
+    } else if (key == "seed") {
+      wire.request.seed = as_uint(value, "seed", std::uint64_t{1} << 53);
+    } else if (key == "machines") {
+      wire.request.exec.machines = static_cast<int>(
+          as_uint(value, "machines", limits.max_machines));
+    } else if (key == "points") {
+      wire.points = parse_points(value, limits);
+      have_points = true;
+    } else if (key == "max_dist_evals") {
+      wire.max_dist_evals =
+          as_uint(value, "max_dist_evals", ~std::uint64_t{0} >> 1);
+    } else if (key == "deadline_ms") {
+      wire.deadline_ms = as_uint(value, "deadline_ms", 1000ull * 3600 * 24);
+    } else if (key == "options") {
+      options_value = &value;  // parsed after the algorithm name is known
+    } else {
+      bad("unknown request field '" + key + "'");
+    }
+  }
+
+  if (!have_k) bad("request is missing required field 'k'");
+  if (!have_points) bad("request is missing required field 'points'");
+
+  // Resolve the algorithm now so option parsing knows its variant and
+  // a typo'd name fails at the codec with the registry's name list.
+  const api::AlgorithmInfo* info =
+      api::registry().find(wire.request.algorithm);
+  if (info == nullptr) {
+    bad("unknown algorithm '" + wire.request.algorithm + "' (known: " +
+        api::known_algorithms() + ")");
+  }
+  wire.request.algorithm = info->name;
+  if (options_value != nullptr) {
+    wire.request.options = parse_options(info->name, *options_value);
+  }
+
+  wire.request.points = &wire.points;
+  wire.request.max_dist_evals = wire.max_dist_evals;
+  return wire;
+}
+
+namespace {
+
+void append_field(std::string& out, std::string_view key,
+                  const std::string& value, bool* first) {
+  out += *first ? "\"" : ", \"";
+  *first = false;
+  out += key;
+  out += "\": ";
+  out += value;
+}
+
+void append_string_field(std::string& out, std::string_view key,
+                         std::string_view value, bool* first) {
+  append_field(out, key, "\"" + json_escape(value) + "\"", first);
+}
+
+[[nodiscard]] std::string envelope_prefix(std::uint64_t id,
+                                          std::string_view tenant,
+                                          std::string_view status) {
+  std::string out = "{";
+  bool first = true;
+  append_field(out, "id", std::to_string(id), &first);
+  append_string_field(out, "tenant", tenant, &first);
+  append_string_field(out, "status", status, &first);
+  return out;
+}
+
+}  // namespace
+
+std::string write_report(std::uint64_t id, std::string_view tenant,
+                         const api::SolveReport& report,
+                         const ReportStyle& style) {
+  std::string out = envelope_prefix(id, tenant, "ok");
+  bool first = false;
+  append_string_field(out, "algorithm", report.algorithm, &first);
+  std::string centers = "[";
+  for (std::size_t i = 0; i < report.centers.size(); ++i) {
+    if (i != 0) centers += ", ";
+    centers += std::to_string(report.centers[i]);
+  }
+  centers += "]";
+  append_field(out, "centers", centers, &first);
+  append_field(out, "value", json_number(report.value), &first);
+  append_field(out, "radius_comparable",
+               json_number(report.radius_comparable), &first);
+  append_string_field(out, "guarantee", report.guarantee, &first);
+  append_field(out, "rounds", std::to_string(report.rounds), &first);
+  append_field(out, "iterations", std::to_string(report.iterations), &first);
+  append_field(out, "dist_evals", std::to_string(report.dist_evals), &first);
+  append_field(out, "budget_consumed",
+               std::to_string(report.budget_consumed), &first);
+  if (!style.stable) {
+    append_field(out, "sim_seconds", json_number(report.sim_seconds), &first);
+    append_field(out, "wall_seconds", json_number(report.wall_seconds),
+                 &first);
+    append_field(out, "cpu_seconds", json_number(report.cpu_seconds), &first);
+    append_string_field(out, "backend", report.backend, &first);
+    append_string_field(out, "kernel_isa", report.kernel_isa, &first);
+  }
+  out += "}";
+  return out;
+}
+
+std::string write_error(std::uint64_t id, std::string_view tenant,
+                        std::string_view status, std::string_view message) {
+  std::string out = envelope_prefix(id, tenant, status);
+  bool first = false;
+  append_string_field(out, "error", message, &first);
+  out += "}";
+  return out;
+}
+
+}  // namespace kc::svc

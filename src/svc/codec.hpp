@@ -1,0 +1,113 @@
+// Wire codec of the batch solve service: JSON-lines request and report
+// records.
+//
+// One request per line:
+//
+//   {"id": 7, "tenant": "acme", "algorithm": "mrg", "k": 4,
+//    "points": [[0.0, 1.5], [2.0, 3.0]], "metric": "L2", "seed": 3,
+//    "machines": 16, "max_dist_evals": 100000, "deadline_ms": 250,
+//    "options": {"capacity": 64}}
+//
+// Only "k" and "points" are required. The schema is *strict*: every
+// unknown key, wrong type, out-of-range value, ragged point row, or
+// malformed option is rejected with api::Error kind BadRequest — the
+// same taxonomy the Solver uses — so a service front-end maps every
+// way a request can be wrong to one status vocabulary and untrusted
+// input can never reach the kernels unvalidated. Execution placement
+// is deliberately *not* on the wire: requests say how wide a simulated
+// cluster they want ("machines"), never which host backend to spawn.
+//
+// One report per line, in the same taxonomy:
+//
+//   {"id": 7, "tenant": "acme", "status": "ok", "algorithm": "mrg",
+//    "k": 4, "centers": [...], "value": 12.5, ...}
+//   {"id": 8, "tenant": "acme", "status": "bad-request",
+//    "error": "k must be at least 1"}
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "api/report.hpp"
+#include "api/request.hpp"
+#include "geom/point_set.hpp"
+
+namespace kc::svc {
+
+/// Abuse bounds applied while *parsing*, before any point storage is
+/// sized: a malformed or hostile line must be rejected by arithmetic
+/// on the declared sizes, never by attempting the allocation.
+struct CodecLimits {
+  std::size_t max_line_bytes = std::size_t{16} << 20;  ///< 16 MiB
+  std::size_t max_points = 2'000'000;
+  std::size_t max_dim = 256;
+  std::size_t max_machines = 4096;
+  /// Tenant names key per-tenant service state, so their size is
+  /// bounded like everything else attacker-chosen.
+  std::size_t max_tenant_bytes = 256;
+};
+
+/// One decoded request record: the owned point data plus the
+/// api::SolveRequest referencing it. `request.points` always points at
+/// this instance's own `points` — the move operations re-aim it, so a
+/// WireRequest stays self-contained through queue hand-offs. Copying
+/// is deleted (it would duplicate the point storage; nothing needs it).
+struct WireRequest {
+  std::uint64_t id = 0;
+  std::string tenant = "default";
+  PointSet points;
+  api::SolveRequest request;
+  std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
+  /// Per-request evaluation cap from the wire (0 = none). Mirrored
+  /// into request.max_dist_evals; the service additionally uses it to
+  /// reserve tenant budget at admission.
+  std::uint64_t max_dist_evals = 0;
+
+  WireRequest() = default;
+  WireRequest(const WireRequest&) = delete;
+  WireRequest& operator=(const WireRequest&) = delete;
+  WireRequest(WireRequest&& other) noexcept { *this = std::move(other); }
+  WireRequest& operator=(WireRequest&& other) noexcept {
+    id = other.id;
+    tenant = std::move(other.tenant);
+    points = std::move(other.points);
+    request = std::move(other.request);
+    deadline_ms = other.deadline_ms;
+    max_dist_evals = other.max_dist_evals;
+    request.points = &points;
+    return *this;
+  }
+};
+
+/// Parses one JSON-lines request record. Throws api::Error (kind
+/// BadRequest) on every malformed input; never crashes on hostile
+/// bytes (fuzzed in svc_test.cpp). The returned WireRequest is
+/// self-contained: request.points is wired to the owned PointSet.
+[[nodiscard]] WireRequest parse_request(std::string_view line,
+                                        const CodecLimits& limits = {});
+
+/// Which report fields to emit.
+struct ReportStyle {
+  /// Omit machine- and load-dependent fields (timings, host backend,
+  /// kernel ISA) so two runs of one request file diff clean across
+  /// hosts — the CI smoke leg and the determinism tests rely on it.
+  bool stable = false;
+};
+
+/// Serializes a successful solve as one JSON line (no newline).
+[[nodiscard]] std::string write_report(std::uint64_t id,
+                                       std::string_view tenant,
+                                       const api::SolveReport& report,
+                                       const ReportStyle& style = {});
+
+/// Serializes a failed request as one JSON line (no newline).
+/// `status` is an api::ErrorKind string or a service-level status
+/// ("deadline-exceeded", "overloaded", "internal-error").
+[[nodiscard]] std::string write_error(std::uint64_t id,
+                                      std::string_view tenant,
+                                      std::string_view status,
+                                      std::string_view message);
+
+}  // namespace kc::svc

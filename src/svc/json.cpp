@@ -1,0 +1,321 @@
+#include "svc/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace kc::svc {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  [[nodiscard]] Json run() {
+    skip_ws();
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonError(message, pos_);
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_ws() noexcept {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (at_end() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] Json parse_value(std::size_t depth) {
+    if (depth > max_depth_) fail("nesting too deep");
+    if (at_end()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        Json value;
+        value.type = Json::Type::String;
+        value.string = parse_string();
+        return value;
+      }
+      case 't': return parse_literal("true", [](Json& v) {
+        v.type = Json::Type::Bool;
+        v.boolean = true;
+      });
+      case 'f': return parse_literal("false", [](Json& v) {
+        v.type = Json::Type::Bool;
+        v.boolean = false;
+      });
+      case 'n': return parse_literal("null", [](Json& v) {
+        v.type = Json::Type::Null;
+      });
+      default: return parse_number();
+    }
+  }
+
+  template <typename Fill>
+  [[nodiscard]] Json parse_literal(std::string_view word, Fill fill) {
+    if (text_.substr(pos_, word.size()) != word) fail("invalid literal");
+    pos_ += word.size();
+    Json value;
+    fill(value);
+    return value;
+  }
+
+  [[nodiscard]] Json parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (!at_end() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    const std::size_t int_digits = digits();
+    if (int_digits == 0) fail("invalid number");
+    // JSON forbids leading zeros ("01"), which strtod would accept.
+    if (int_digits > 1 && text_[start + (text_[start] == '-' ? 1 : 0)] == '0') {
+      fail("leading zero in number");
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (digits() == 0) fail("digits required after decimal point");
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (digits() == 0) fail("digits required in exponent");
+    }
+    // The token is bounded and syntax-checked; strtod just converts.
+    const std::string token(text_.substr(start, pos_ - start));
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) fail("number out of range");
+    Json out;
+    out.type = Json::Type::Number;
+    out.number = value;
+    return out;
+  }
+
+  void append_utf8(std::string& out, unsigned code_point) {
+    if (code_point < 0x80) {
+      out.push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  [[nodiscard]] unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) fail("truncated \\u escape");
+      const char c = peek();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+      ++pos_;
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (at_end()) fail("unterminated string");
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) fail("truncated escape");
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code_point = parse_hex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: the low half must follow immediately.
+            if (at_end() || peek() != '\\') fail("unpaired surrogate");
+            ++pos_;
+            if (at_end() || peek() != 'u') fail("unpaired surrogate");
+            ++pos_;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid surrogate pair");
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  [[nodiscard]] Json parse_array(std::size_t depth) {
+    expect('[');
+    Json out;
+    out.type = Json::Type::Array;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      skip_ws();
+      out.array.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return out;
+    }
+  }
+
+  [[nodiscard]] Json parse_object(std::size_t depth) {
+    expect('{');
+    Json out;
+    out.type = Json::Type::Object;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    // O(log N) duplicate detection: a linear Json::find per key would
+    // make a many-key hostile object quadratic — CPU exhaustion inside
+    // the very parser that exists to reject hostile input.
+    std::set<std::string, std::less<>> seen;
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      if (!seen.insert(key).second) {
+        fail("duplicate object key '" + key + "'");
+      }
+      skip_ws();
+      expect(':');
+      skip_ws();
+      out.object.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (at_end()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return out;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+std::string_view to_string(Json::Type type) noexcept {
+  switch (type) {
+    case Json::Type::Null: return "null";
+    case Json::Type::Bool: return "bool";
+    case Json::Type::Number: return "number";
+    case Json::Type::String: return "string";
+    case Json::Type::Array: return "array";
+    case Json::Type::Object: return "object";
+  }
+  return "?";
+}
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+}  // namespace kc::svc

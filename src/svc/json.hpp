@@ -1,0 +1,84 @@
+// Minimal JSON for the batch solve service: a small recursive-descent
+// parser and string escaping for the writer side.
+//
+// The service's wire format is JSON-lines (one request or report object
+// per line), parsed from *untrusted* input, so the parser is written
+// for robustness rather than speed or feature count: strict grammar, a
+// hard nesting-depth limit, no exceptions other than JsonError, and no
+// recursion on attacker-controlled depth beyond that limit. Numbers
+// are doubles (the service schema has no integer wider than 2^53);
+// \uXXXX escapes decode to UTF-8, surrogate pairs included. There is
+// deliberately no DOM mutation API — the codec (svc/codec.hpp) walks
+// the parsed value once and converts it into typed request structs.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kc::svc {
+
+/// Parse failure: malformed text, depth/size abuse, trailing garbage.
+/// The codec maps it to api::Error kind BadRequest.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " (at byte " + std::to_string(offset) +
+                           ")"),
+        offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+struct Json {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  /// Key order preserved (reports round-trip stably); duplicate keys
+  /// are a parse error — an attacker must not be able to smuggle a
+  /// second value past a validator that read the first.
+  std::vector<std::pair<std::string, Json>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return type == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept { return type == Type::Number; }
+  [[nodiscard]] bool is_string() const noexcept { return type == Type::String; }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept { return type == Type::Object; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Parses exactly one JSON value spanning all of `text` (leading and
+  /// trailing whitespace allowed, anything else throws JsonError).
+  /// `max_depth` bounds array/object nesting.
+  [[nodiscard]] static Json parse(std::string_view text,
+                                  std::size_t max_depth = 64);
+};
+
+[[nodiscard]] std::string_view to_string(Json::Type type) noexcept;
+
+/// Escapes `raw` for embedding inside a JSON string literal (quotes
+/// not included): ", \, control characters.
+[[nodiscard]] std::string json_escape(std::string_view raw);
+
+/// Formats a double as a JSON number that round-trips (%.17g), mapping
+/// non-finite values to null (JSON has no inf/nan).
+[[nodiscard]] std::string json_number(double value);
+
+}  // namespace kc::svc

@@ -1,0 +1,354 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "api/error.hpp"
+
+namespace kc::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] exec::Scheduler* scheduler_of(exec::ExecutionBackend* backend) {
+  if (backend != nullptr && backend->kind() == exec::BackendKind::ThreadPool) {
+    return &static_cast<exec::ThreadPoolBackend*>(backend)->scheduler();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ServiceLoop::ServiceLoop(const ServiceConfig& config,
+                         std::shared_ptr<exec::ExecutionBackend> backend)
+    : config_(config),
+      backend_(backend != nullptr
+                   ? std::move(backend)
+                   : exec::make_backend(config.backend, config.threads)),
+      queue_(config.queue_capacity) {
+  config_.max_in_flight = std::max(config_.max_in_flight, 1);
+  deadline_thread_ = std::thread([this] { deadline_loop(); });
+}
+
+ServiceLoop::~ServiceLoop() {
+  queue_.close();
+  {
+    const std::lock_guard<std::mutex> lock(deadline_mutex_);
+    deadline_stop_ = true;
+  }
+  deadline_cv_.notify_all();
+  deadline_thread_.join();
+}
+
+void ServiceLoop::close() { queue_.close(); }
+
+void ServiceLoop::cancel_all() {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  for (auto& [serial, token] : active_tokens_) token.request_cancel();
+}
+
+ServiceLoop::Stats ServiceLoop::stats() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return stats_;
+}
+
+std::shared_ptr<exec::EvalBudget> ServiceLoop::tenant_budget(
+    std::string_view tenant) const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second : nullptr;
+}
+
+void ServiceLoop::arm_deadline(Clock::time_point when,
+                               CancellationToken token,
+                               std::shared_ptr<std::atomic<bool>> fired) {
+  {
+    const std::lock_guard<std::mutex> lock(deadline_mutex_);
+    deadlines_.emplace(when, DeadlineEntry{std::move(token), std::move(fired)});
+  }
+  deadline_cv_.notify_all();
+}
+
+void ServiceLoop::deadline_loop() {
+  std::unique_lock<std::mutex> lock(deadline_mutex_);
+  for (;;) {
+    if (deadline_stop_) return;
+    if (deadlines_.empty()) {
+      deadline_cv_.wait(lock);
+      continue;
+    }
+    const auto next = deadlines_.begin()->first;
+    if (Clock::now() < next) {
+      deadline_cv_.wait_until(lock, next);
+      continue;
+    }
+    // Fire everything that is due. Firing the token of a request that
+    // already settled is harmless: tokens are per-request.
+    while (!deadlines_.empty() && deadlines_.begin()->first <= Clock::now()) {
+      DeadlineEntry entry = std::move(deadlines_.begin()->second);
+      deadlines_.erase(deadlines_.begin());
+      entry.fired->store(true, std::memory_order_relaxed);
+      entry.token.request_cancel();
+    }
+  }
+}
+
+std::optional<std::string> ServiceLoop::submit(std::string_view line,
+                                               EmitFn emit, bool blocking,
+                                               CancellationToken cancel) {
+  const auto reject = [this](std::string report) {
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      ++stats_.rejected;
+    }
+    return report;
+  };
+
+  auto item = std::make_unique<Admitted>();
+  try {
+    item->wire = parse_request(line, config_.limits);
+  } catch (const api::Error& e) {
+    // The id/tenant of a malformed line are unknown; 0/"" marks that.
+    return reject(write_error(0, "", api::to_string(e.kind()), e.what()));
+  }
+  item->emit = std::move(emit);
+
+  // Every request gets an armed token: the deadline watcher and
+  // cancel_all() need a handle even when the producer supplied none.
+  if (!cancel.armed()) cancel = CancellationToken::make();
+  item->wire.request.cancel = cancel;
+  item->wire.request.budgeted_eval = config_.budgeted_eval;
+
+  // Budget admission: reserve the request's cap from its tenant,
+  // retrying around concurrent reservations; the unspent remainder is
+  // refunded in settle().
+  const std::uint64_t cap = item->wire.max_dist_evals != 0
+                                ? item->wire.max_dist_evals
+                                : config_.request_budget;
+  if (config_.tenant_budget != 0) {
+    std::shared_ptr<exec::EvalBudget> tenant;
+    bool table_full = false;
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      const auto it = tenants_.find(item->wire.tenant);
+      if (it != tenants_.end()) {
+        tenant = it->second;
+      } else if (tenants_.size() >= config_.max_tenants) {
+        // Refuse before inserting: attacker-minted tenant names must
+        // not grow the table (each entry lives for the service's
+        // lifetime). Rejected outside the lock — reject() takes it.
+        table_full = true;
+      } else {
+        tenant = std::make_shared<exec::EvalBudget>(config_.tenant_budget);
+        tenants_.emplace(item->wire.tenant, tenant);
+      }
+    }
+    if (table_full) {
+      return reject(write_error(item->wire.id, item->wire.tenant,
+                                "overloaded", "tenant table is full"));
+    }
+    if (tenant->remaining() == 0) {
+      return reject(write_error(
+          item->wire.id, item->wire.tenant, "budget-exceeded",
+          "tenant '" + item->wire.tenant + "' has no evaluation budget left"));
+    }
+    if (cap != 0) {
+      // Capped request: reserve the cap (or what is left) up front so
+      // concurrent requests of one tenant can never oversubscribe it;
+      // settle() refunds whatever the run did not spend.
+      std::uint64_t reserved = 0;
+      for (;;) {
+        const std::uint64_t remaining = tenant->remaining();
+        reserved = std::min(cap, remaining);
+        if (reserved == 0) {
+          return reject(write_error(item->wire.id, item->wire.tenant,
+                                    "budget-exceeded",
+                                    "tenant '" + item->wire.tenant +
+                                        "' has no evaluation budget left"));
+        }
+        if (tenant->try_charge(reserved)) break;
+      }
+      item->tenant_budget = std::move(tenant);
+      item->reserved = reserved;
+      item->budget = std::make_shared<exec::EvalBudget>(reserved);
+    } else {
+      // Capless request: charge the shared tenant odometer directly.
+      // Reserving the whole remainder instead would make concurrent
+      // capless requests of one tenant reject each other at admission
+      // on a race, even when the tenant has plenty left.
+      item->budget = std::move(tenant);
+    }
+  } else if (cap != 0) {
+    item->budget = std::make_shared<exec::EvalBudget>(cap);
+  }
+  item->wire.request.budget = item->budget;
+
+  const std::uint64_t deadline_ms = item->wire.deadline_ms != 0
+                                        ? item->wire.deadline_ms
+                                        : config_.default_deadline_ms;
+  if (deadline_ms != 0) {
+    item->deadline_fired = std::make_shared<std::atomic<bool>>(false);
+    item->deadline_at = Clock::now() + std::chrono::milliseconds(deadline_ms);
+    arm_deadline(item->deadline_at, cancel, item->deadline_fired);
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    item->serial = next_serial_++;
+    active_tokens_.emplace(item->serial, cancel);
+  }
+
+  // Captured before push(): a blocking push consumes the unique_ptr
+  // even on failure, so the rollback must not read through `item`.
+  const std::uint64_t id = item->wire.id;
+  const std::string tenant_name = item->wire.tenant;
+  const std::uint64_t serial = item->serial;
+  const std::shared_ptr<exec::EvalBudget> reserved_from = item->tenant_budget;
+  const std::uint64_t reserved = item->reserved;
+  const std::shared_ptr<std::atomic<bool>> deadline_fired =
+      item->deadline_fired;
+  const Clock::time_point deadline_at = item->deadline_at;
+  const auto unadmit = [&] {
+    retire_deadline(deadline_at, deadline_fired);
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    active_tokens_.erase(serial);
+    if (reserved_from != nullptr) reserved_from->credit(reserved);
+  };
+  if (blocking) {
+    if (!queue_.push(std::move(item))) {
+      unadmit();
+      return reject(write_error(id, tenant_name, "overloaded",
+                                "service is no longer accepting requests"));
+    }
+  } else {
+    if (!queue_.try_push(item)) {
+      unadmit();
+      return reject(write_error(id, tenant_name, "overloaded",
+                                "admission queue is full"));
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    ++stats_.admitted;
+  }
+  return std::nullopt;
+}
+
+void ServiceLoop::execute(Admitted& item) {
+  // The WireRequest rebinds its points pointer on move, but be
+  // explicit: the solve below must read this instance's storage.
+  item.wire.request.points = &item.wire.points;
+  bool ok = false;
+  try {
+    api::Solver solver(backend_);
+    const api::SolveReport report = solver.solve(item.wire.request);
+    item.line =
+        write_report(item.wire.id, item.wire.tenant, report, config_.style);
+    ok = true;
+  } catch (const api::Error& e) {
+    std::string status(api::to_string(e.kind()));
+    if (e.kind() == api::ErrorKind::Cancelled &&
+        item.deadline_fired != nullptr &&
+        item.deadline_fired->load(std::memory_order_relaxed)) {
+      status = "deadline-exceeded";
+    }
+    item.line = write_error(item.wire.id, item.wire.tenant, status, e.what());
+  } catch (const std::exception& e) {
+    // A non-taxonomy escape is a bug worth a typed breadcrumb, not a
+    // dead service.
+    item.line =
+        write_error(item.wire.id, item.wire.tenant, "internal-error", e.what());
+  }
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  ++(ok ? stats_.completed : stats_.failed);
+}
+
+void ServiceLoop::retire_deadline(
+    Clock::time_point when, const std::shared_ptr<std::atomic<bool>>& fired) {
+  if (fired == nullptr) return;
+  const std::lock_guard<std::mutex> lock(deadline_mutex_);
+  const auto [lo, hi] = deadlines_.equal_range(when);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second.fired == fired) {
+      deadlines_.erase(it);
+      break;
+    }
+  }
+}
+
+void ServiceLoop::settle(Admitted& item) {
+  // Retire the watcher entry: a settled request's token must not be
+  // retained (or fired) for the rest of its deadline horizon.
+  retire_deadline(item.deadline_at, item.deadline_fired);
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  active_tokens_.erase(item.serial);
+  if (item.tenant_budget != nullptr && item.budget != nullptr) {
+    // Refund what the reservation did not spend; consumed() can never
+    // exceed the reservation because the request budget was sized to it.
+    item.tenant_budget->credit(item.reserved - item.budget->consumed());
+  }
+}
+
+void ServiceLoop::run() {
+  exec::Scheduler* scheduler = scheduler_of(backend_.get());
+
+  struct InFlight {
+    std::unique_ptr<exec::TaskGroup> group;
+    std::unique_ptr<Admitted> item;
+  };
+  std::deque<InFlight> window;
+
+  const auto finish_front = [&] {
+    InFlight flight = std::move(window.front());
+    window.pop_front();
+    flight.group->wait();  // execute() never lets an exception escape
+    settle(*flight.item);
+    if (flight.item->emit) flight.item->emit(flight.item->line);
+  };
+
+  for (;;) {
+    // Block on the queue only while nothing is in flight: with a
+    // pending window, an idle consumer must retire the front request
+    // (helping execute it on the scheduler) rather than sit in pop() —
+    // otherwise a lone request's report would wait for the *next*
+    // request to arrive, and on a worker-less pool nobody would run it
+    // at all.
+    std::optional<std::unique_ptr<Admitted>> popped;
+    if (window.empty()) {
+      popped = queue_.pop();
+      if (!popped) break;  // closed and drained
+    } else {
+      popped = queue_.try_pop();
+      if (!popped) {
+        finish_front();
+        continue;
+      }
+    }
+    std::unique_ptr<Admitted> item = std::move(*popped);
+    if (scheduler == nullptr) {
+      // Sequential substrate: execute inline, one request at a time.
+      execute(*item);
+      settle(*item);
+      if (item->emit) item->emit(item->line);
+      continue;
+    }
+    while (static_cast<int>(window.size()) >= config_.max_in_flight) {
+      finish_front();
+    }
+    InFlight flight;
+    flight.item = std::move(item);
+    flight.group = std::make_unique<exec::TaskGroup>(*scheduler);
+    Admitted* raw = flight.item.get();
+    // One TaskGroup per request: the group's single task drives the
+    // whole solve; the solve's own fan-out (reducer rounds, sharded
+    // scans) lands in nested groups on the same scheduler, stealable
+    // by every worker. Reports are emitted in admission order.
+    flight.group->submit([this, raw] { execute(*raw); });
+    window.push_back(std::move(flight));
+  }
+  while (!window.empty()) finish_front();
+}
+
+}  // namespace kc::svc

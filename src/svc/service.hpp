@@ -1,0 +1,201 @@
+// The batch solve service: untrusted JSON-lines requests in, one
+// report line per request out, with per-tenant budgets, deadlines and
+// bounded admission between them.
+//
+//   producers                ServiceLoop                 shared pool
+//   ---------                -----------                 -----------
+//   stdin reader --\                                  +-> worker
+//   socket conn  ---+--> submit() --> BoundedQueue -->|   worker
+//   socket conn  --/    (parse,           |           |   worker
+//                        admit,           v           +-> ...
+//                        reserve     run(): one exec::TaskGroup per
+//                        tenant      request, <= max_in_flight live;
+//                        budget,     each group's single task drives
+//                        arm         Solver::solve on the shared
+//                        deadline)   scheduler, so a request's reducer
+//                                    fan-out and sharded scans are
+//                                    stealable work for every worker.
+//
+// Admission is where untrusted turns into bounded: the codec rejects
+// malformed records (api::Error taxonomy), the tenant's EvalBudget is
+// *reserved* for the request's cap (refunded pro rata when it
+// settles — concurrent requests of one tenant can never oversubscribe
+// it), the deadline watcher arms a cancellation token that the gated
+// kernels observe within one chunk, and the queue bound backpressures
+// producers (or answers "overloaded" in non-blocking mode). Every
+// admitted request runs with budgeted_eval, so offline evaluation is
+// charged like solve work and no request can burn unbudgeted CPU.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "exec/backend.hpp"
+#include "exec/chunk_context.hpp"
+#include "svc/codec.hpp"
+#include "svc/queue.hpp"
+
+namespace kc::svc {
+
+struct ServiceConfig {
+  /// Execution substrate for every request (ThreadPool = concurrent
+  /// requests on one work-stealing scheduler; Sequential = one at a
+  /// time, for deterministic replays and differential testing).
+  exec::BackendKind backend = exec::BackendKind::ThreadPool;
+  int threads = 0;  ///< pool width; 0 = hardware concurrency
+
+  std::size_t queue_capacity = 256;  ///< admission queue bound
+  int max_in_flight = 4;             ///< concurrently executing requests
+
+  /// Distance-evaluation budget per tenant (0 = unlimited). Requests
+  /// reserve from it at admission and refund the unspent remainder.
+  std::uint64_t tenant_budget = 0;
+  /// Default per-request evaluation cap when the request names none
+  /// (0 = uncapped; a capless request under a limited tenant budget
+  /// draws on the shared tenant odometer directly instead of
+  /// reserving, so concurrent capless requests never starve each
+  /// other at admission).
+  std::uint64_t request_budget = 0;
+  /// Default deadline for requests that name none (0 = none).
+  std::uint64_t default_deadline_ms = 0;
+
+  /// Gate the offline value evaluation with the request budget
+  /// (SolveRequest::budgeted_eval). On by default: this is the
+  /// untrusted-request front-end.
+  bool budgeted_eval = true;
+
+  /// Bound on distinct tenants (each holds an EvalBudget entry for the
+  /// service's lifetime); a request naming a new tenant beyond it is
+  /// refused "overloaded", so attacker-minted tenant names cannot grow
+  /// the tenant table without bound. Only meaningful with a tenant
+  /// budget configured.
+  std::size_t max_tenants = 4096;
+
+  CodecLimits limits;
+  ReportStyle style;
+};
+
+/// Writes one finished report line (no trailing newline). Called from
+/// the ServiceLoop consumer thread; serialize externally if several
+/// sinks share a stream.
+using EmitFn = std::function<void(const std::string&)>;
+
+class ServiceLoop {
+ public:
+  /// `backend` overrides config.backend/threads when non-null (so
+  /// tests and benches can share one pool across services).
+  explicit ServiceLoop(const ServiceConfig& config,
+                       std::shared_ptr<exec::ExecutionBackend> backend =
+                           nullptr);
+  ~ServiceLoop();
+  ServiceLoop(const ServiceLoop&) = delete;
+  ServiceLoop& operator=(const ServiceLoop&) = delete;
+
+  /// Parses and admits one request line (thread-safe; producers may
+  /// call concurrently). Returns nullopt when the request was admitted
+  /// (its report will reach `emit` from the consumer); otherwise the
+  /// ready-to-write rejection line (malformed request, tenant budget
+  /// exhausted, queue full in non-blocking mode, service closed).
+  /// `cancel`, when armed, becomes the request's cancellation token —
+  /// a connection handler passes one per request and fires them on
+  /// disconnect; an unarmed token is replaced by a service-owned one
+  /// so deadlines and cancel_all() always have a handle.
+  [[nodiscard]] std::optional<std::string> submit(
+      std::string_view line, EmitFn emit, bool blocking = true,
+      CancellationToken cancel = {});
+
+  /// Ends admission: submit() refuses, run() returns once the queue
+  /// and the in-flight window drain.
+  void close();
+
+  /// Fires every admitted-but-unfinished request's token (shutdown /
+  /// global disconnect). Does not close admission by itself.
+  void cancel_all();
+
+  /// Consumer loop: executes admitted requests until close() and the
+  /// backlog drains. Call from exactly one thread.
+  void run();
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;   ///< refused at submit()
+    std::uint64_t completed = 0;  ///< reports with status "ok"
+    std::uint64_t failed = 0;     ///< reports with any error status
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const std::shared_ptr<exec::ExecutionBackend>& backend()
+      const noexcept {
+    return backend_;
+  }
+
+  /// The tenant's budget odometer (null when tenant_budget == 0 or the
+  /// tenant has not been seen yet).
+  [[nodiscard]] std::shared_ptr<exec::EvalBudget> tenant_budget(
+      std::string_view tenant) const;
+
+ private:
+  struct Admitted {
+    WireRequest wire;
+    EmitFn emit;
+    std::string line;  ///< finished report, written by the solve task
+    std::shared_ptr<exec::EvalBudget> budget;         ///< per-request
+    std::shared_ptr<exec::EvalBudget> tenant_budget;  ///< reservation source
+    std::uint64_t reserved = 0;
+    std::shared_ptr<std::atomic<bool>> deadline_fired;
+    /// Watcher-map key of this request's deadline entry (valid when
+    /// deadline_fired is non-null); settle() erases the entry so the
+    /// watcher does not retain tokens of settled requests for up to
+    /// the full deadline horizon.
+    std::chrono::steady_clock::time_point deadline_at;
+    std::uint64_t serial = 0;  ///< active-token registry key
+  };
+
+  void execute(Admitted& item);
+  void settle(Admitted& item);
+  void arm_deadline(std::chrono::steady_clock::time_point when,
+                    CancellationToken token,
+                    std::shared_ptr<std::atomic<bool>> fired);
+  /// Removes the watcher entry identified by (when, fired), if still
+  /// armed; called from settle() and from the admission rollback so no
+  /// path retains a dead request's token for its deadline horizon.
+  void retire_deadline(std::chrono::steady_clock::time_point when,
+                       const std::shared_ptr<std::atomic<bool>>& fired);
+  void deadline_loop();
+
+  ServiceConfig config_;
+  std::shared_ptr<exec::ExecutionBackend> backend_;
+  BoundedQueue<std::unique_ptr<Admitted>> queue_;
+
+  mutable std::mutex state_mutex_;
+  std::map<std::string, std::shared_ptr<exec::EvalBudget>, std::less<>>
+      tenants_;
+  std::map<std::uint64_t, CancellationToken> active_tokens_;
+  std::uint64_t next_serial_ = 0;
+  Stats stats_;
+
+  struct DeadlineEntry {
+    CancellationToken token;
+    std::shared_ptr<std::atomic<bool>> fired;
+  };
+  std::mutex deadline_mutex_;
+  std::condition_variable deadline_cv_;
+  std::multimap<std::chrono::steady_clock::time_point, DeadlineEntry>
+      deadlines_;
+  bool deadline_stop_ = false;
+  std::thread deadline_thread_;
+};
+
+}  // namespace kc::svc

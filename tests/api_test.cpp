@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,7 +39,8 @@ ErrorKind error_kind_of(api::SolveRequest& request) {
 
 TEST(ApiRegistry, BuiltinsRegisteredAndAliasesRoundTrip) {
   const auto names = api::registry().names();
-  for (const char* expected : {"gon", "hs", "brute", "mrg", "eim", "mrg-du"}) {
+  for (const char* expected :
+       {"gon", "hs", "brute", "mrg", "eim", "mrg-du", "ccm"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing built-in '" << expected << "'";
   }
@@ -130,6 +132,61 @@ TEST(ApiSolver, ValidationErrorKinds) {
     bad.epsilon = 1.5;
     r.options = bad;
     EXPECT_EQ(error_kind_of(r), ErrorKind::BadRequest);
+  }
+  {
+    api::SolveRequest r = request;
+    r.k = data.size() + 1;  // k > n can never be satisfied
+    EXPECT_EQ(error_kind_of(r), ErrorKind::BadRequest);
+  }
+  {
+    api::SolveRequest r = request;
+    r.algorithm = "ccm";
+    CcmOptions bad;
+    bad.epsilon = 0.0;
+    r.options = bad;
+    EXPECT_EQ(error_kind_of(r), ErrorKind::BadRequest);
+  }
+}
+
+TEST(ApiSolver, NonFiniteCoordinatesAreRejectedUpFront) {
+  for (const double poison : {std::numeric_limits<double>::quiet_NaN(),
+                              std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity()}) {
+    PointSet data = test::small_gaussian_instance(3, 20, 44);
+    data.mutable_point(11)[1] = poison;
+    api::SolveRequest request;
+    request.points = &data;
+    request.k = 3;
+    EXPECT_EQ(error_kind_of(request), ErrorKind::BadRequest);
+  }
+}
+
+TEST(ApiSolver, DuplicateOnlyInputsSolveWithoutCrashOrNonsense) {
+  // Every point identical: any k <= n must produce a radius-0 report
+  // (never UB in the kernels, never an untyped escape), and the eval
+  // layer must keep its per-cluster stats well-defined even when
+  // redundant centers own zero points.
+  const PointSet data = test::all_duplicates(40);
+  for (const auto& name : api::registry().names()) {
+    api::SolveRequest request;
+    request.points = &data;
+    request.k = 3;
+    request.algorithm = name;
+    request.exec.machines = 4;
+    api::Solver solver;
+    const api::SolveReport report = solver.solve(request);
+    EXPECT_EQ(report.value, 0.0) << name;
+    ASSERT_FALSE(report.centers.empty()) << name;
+
+    const DistanceOracle oracle(data);
+    const auto all = data.all_indices();
+    const auto stats = eval::cluster_stats(oracle, all, report.centers);
+    EXPECT_EQ(stats.max_radius, 0.0) << name;
+    // All points land on the first center; extra centers are empty and
+    // must not zero out smallest_cluster.
+    EXPECT_EQ(stats.largest_cluster, data.size()) << name;
+    EXPECT_EQ(stats.smallest_cluster, data.size()) << name;
+    EXPECT_EQ(stats.empty_clusters, report.centers.size() - 1) << name;
   }
 }
 

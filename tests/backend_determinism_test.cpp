@@ -88,6 +88,38 @@ TEST(BackendDeterminism, MrgInvariantAcrossBackends) {
   }
 }
 
+TEST(BackendDeterminism, CcmInvariantAcrossBackends) {
+  const PointSet ps = test::small_gaussian_instance(6, 400, 23);
+  const auto all = ps.all_indices();
+  CcmOptions options;
+  options.seed = 17;
+  options.epsilon = 0.25;
+  options.first_center = GonzalezOptions::FirstCenter::Random;
+
+  const auto backends = all_backends();
+  ASSERT_GE(backends.size(), 2u);
+
+  std::vector<CcmResult> results;
+  for (const auto& backend : backends) {
+    const DistanceOracle oracle = sharded_oracle(ps, backend.get());
+    const mr::SimCluster cluster(16, 0, backend);
+    results.push_back(ccm(oracle, all, 5, cluster, options));
+  }
+
+  const auto& reference = results.front();
+  EXPECT_EQ(reference.centers.size(), 5u);
+  EXPECT_GT(reference.coreset_size, 5u);  // the grid round really ran
+  EXPECT_GT(reference.grid_width, 0.0);
+  for (std::size_t b = 1; b < results.size(); ++b) {
+    SCOPED_TRACE(std::string(backends[b]->name()));
+    EXPECT_EQ(results[b].centers, reference.centers);
+    EXPECT_EQ(results[b].radius_comparable, reference.radius_comparable);
+    EXPECT_EQ(results[b].coreset_size, reference.coreset_size);
+    EXPECT_EQ(results[b].grid_width, reference.grid_width);
+    EXPECT_EQ(TraceCounts(results[b].trace), TraceCounts(reference.trace));
+  }
+}
+
 TEST(BackendDeterminism, EimInvariantAcrossBackends) {
   const PointSet ps = test::small_gaussian_instance(5, 2000, 33);
   const auto all = ps.all_indices();

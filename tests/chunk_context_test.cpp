@@ -16,6 +16,7 @@
 
 #include "api/solver.hpp"
 #include "data/generators.hpp"
+#include "eval/evaluate.hpp"
 #include "exec/chunk_context.hpp"
 #include "test_util.hpp"
 
@@ -308,6 +309,127 @@ TEST_F(HugeRoundStops, AmpleBudgetDoesNotPerturbTheSolve) {
   // (single-pair calls are counted by the counters only).
   EXPECT_LE(budgeted.budget->consumed(), a.dist_evals);
   EXPECT_GT(budgeted.budget->consumed(), a.dist_evals * 9 / 10);
+}
+
+// ------------------------------------------------ offline eval gating
+
+/// Offline evaluation of untrusted requests must be budget-gated and
+/// cancellable too: eval::covering_radius / assign_clusters /
+/// cluster_stats honour the oracle's bound ChunkContext, and a solve
+/// with budgeted_eval charges its evaluation scans against the same
+/// budget — so no request can burn unbounded CPU after its solve
+/// completed within budget.
+class HugeEvalStops : public ::testing::Test {
+ protected:
+  static const PointSet& data() {
+    static const PointSet* points = [] {
+      Rng rng(22);
+      return new PointSet(
+          data::generate_gau(1'000'000, 16, 2, 100.0, 0.5, rng));
+    }();
+    return *points;
+  }
+};
+
+TEST_F(HugeEvalStops, CoveringRadiusStopsWithinOneGateOfItsBudget) {
+  DistanceOracle oracle(data());
+  constexpr std::uint64_t kBudget = 120'000;
+  ChunkContext ctx;
+  ctx.budget = std::make_shared<EvalBudget>(kBudget);
+  oracle.bind_context(&ctx);
+
+  const std::vector<index_t> pts = data().all_indices();
+  std::vector<index_t> centers(16);
+  std::iota(centers.begin(), centers.end(), index_t{0});
+  // 1M x 16 = 16M pair evals if unchecked.
+  EXPECT_THROW((void)eval::covering_radius(oracle, pts, centers),
+               BudgetExceededError);
+  EXPECT_LE(ctx.budget->consumed(), kBudget);
+  EXPECT_GE(ctx.budget->consumed(), kBudget - exec::kGateEvals);
+}
+
+TEST_F(HugeEvalStops, AssignClustersAndStatsStopWithinOneGate) {
+  DistanceOracle oracle(data());
+  const std::vector<index_t> pts = data().all_indices();
+  std::vector<index_t> centers(16);
+  std::iota(centers.begin(), centers.end(), index_t{0});
+
+  for (const bool stats : {false, true}) {
+    constexpr std::uint64_t kBudget = 120'000;
+    ChunkContext ctx;
+    ctx.budget = std::make_shared<EvalBudget>(kBudget);
+    oracle.bind_context(&ctx);
+    if (stats) {
+      EXPECT_THROW((void)eval::cluster_stats(oracle, pts, centers),
+                   BudgetExceededError);
+    } else {
+      EXPECT_THROW((void)eval::assign_clusters(oracle, pts, centers),
+                   BudgetExceededError);
+    }
+    EXPECT_LE(ctx.budget->consumed(), kBudget);
+    EXPECT_GE(ctx.budget->consumed(), kBudget - exec::kGateEvals);
+    oracle.bind_context(nullptr);
+  }
+}
+
+TEST_F(HugeEvalStops, CancelledContextStopsEvaluationImmediately) {
+  DistanceOracle oracle(data());
+  ChunkContext ctx;
+  ctx.cancel = CancellationToken::make();
+  ctx.budget = std::make_shared<EvalBudget>(std::uint64_t{1} << 40);
+  ctx.cancel.request_cancel();
+  oracle.bind_context(&ctx);
+
+  const std::vector<index_t> pts = data().all_indices();
+  const std::vector<index_t> centers = {0, 1, 2, 3};
+  EXPECT_THROW((void)eval::covering_radius(oracle, pts, centers),
+               CancelledError);
+  EXPECT_THROW((void)eval::assign_clusters(oracle, pts, centers),
+               CancelledError);
+  // A cancelled stop charges nothing.
+  EXPECT_EQ(ctx.budget->consumed(), 0u);
+}
+
+TEST_F(HugeEvalStops, BudgetedEvalSolveFailsWhenEvaluationExhaustsBudget) {
+  // GON with k = 1 spends exactly n kernel evals solving; the offline
+  // evaluation then needs n more. A budget of 1.5n covers the solve
+  // and runs dry mid-evaluation — with budgeted_eval the request must
+  // fail.
+  api::SolveRequest request;
+  request.points = &data();
+  request.k = 1;
+  request.algorithm = "gon";
+  request.seed = 5;
+  request.budgeted_eval = true;
+  const std::uint64_t n = data().size();
+  request.budget = std::make_shared<EvalBudget>(n * 3 / 2);
+  api::Solver solver;
+  try {
+    (void)solver.solve(request);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const api::Error& e) {
+    EXPECT_EQ(e.kind(), api::ErrorKind::BudgetExceeded);
+  }
+  EXPECT_LE(request.budget->consumed(), n * 3 / 2);
+  EXPECT_GE(request.budget->consumed(), n * 3 / 2 - exec::kGateEvals);
+}
+
+TEST_F(HugeEvalStops, DefaultSolveKeepsEvaluationOffBudget) {
+  // Identical request without budgeted_eval: the same budget suffices,
+  // because offline evaluation is not charged (paper methodology), and
+  // the odometer records only kernel solve work.
+  api::SolveRequest request;
+  request.points = &data();
+  request.k = 1;
+  request.algorithm = "gon";
+  request.seed = 5;
+  const std::uint64_t n = data().size();
+  request.budget = std::make_shared<EvalBudget>(n * 3 / 2);
+  api::Solver solver;
+  const api::SolveReport report = solver.solve(request);
+  EXPECT_GT(report.value, 0.0);
+  EXPECT_LE(request.budget->consumed(), report.dist_evals);
+  EXPECT_EQ(report.budget_consumed, request.budget->consumed());
 }
 
 /// One budget shared across requests: the service pattern. The second

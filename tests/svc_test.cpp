@@ -1,0 +1,572 @@
+// The batch solve service (src/svc): JSON parser hardening, strict
+// request-schema validation mapped onto the api::Error taxonomy, codec
+// fuzzing (malformed bytes -> typed rejection, never a crash), the
+// bounded admission queue, per-tenant budget reservation/refund,
+// deadline enforcement, and the concurrent multi-tenant soak — a
+// shared-scheduler service run must produce bit-identical reports to a
+// sequential one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/error.hpp"
+#include "svc/codec.hpp"
+#include "svc/json.hpp"
+#include "svc/queue.hpp"
+#include "svc/service.hpp"
+#include "rng/rng.hpp"
+#include "test_util.hpp"
+
+namespace kc {
+namespace {
+
+using api::ErrorKind;
+using svc::Json;
+
+// ------------------------------------------------------------------ JSON
+
+TEST(SvcJson, ParsesScalarsArraysAndObjects) {
+  EXPECT_EQ(Json::parse("null").type, Json::Type::Null);
+  EXPECT_TRUE(Json::parse("true").boolean);
+  EXPECT_FALSE(Json::parse(" false ").boolean);
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").number, -1250.0);
+  EXPECT_EQ(Json::parse("\"a\\nb\\u0041\"").string, "a\nbA");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").string, "\xF0\x9F\x98\x80");
+
+  const Json arr = Json::parse("[1, [2, 3], {\"x\": 4}]");
+  ASSERT_EQ(arr.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr.array[1].array[1].number, 3.0);
+  EXPECT_DOUBLE_EQ(arr.array[2].find("x")->number, 4.0);
+
+  const Json obj = Json::parse("{\"a\": 1, \"b\": \"two\"}");
+  EXPECT_DOUBLE_EQ(obj.find("a")->number, 1.0);
+  EXPECT_EQ(obj.find("b")->string, "two");
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(SvcJson, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "tru", "01", "1.", "1e", "+1", "nan", "inf", "1e999", "\"abc",
+        "\"\\x\"", "\"\\u12\"", "\"\\ud800\"", "[1,", "[1 2]", "{\"a\" 1}",
+        "{\"a\": 1,}", "{\"a\": 1, \"a\": 2}", "{} {}", "[1] trailing",
+        "\"raw\ncontrol\""}) {
+    EXPECT_THROW((void)Json::parse(bad), svc::JsonError) << bad;
+  }
+}
+
+TEST(SvcJson, DepthLimitStopsNestingBombs) {
+  std::string bomb;
+  for (int i = 0; i < 2000; ++i) bomb += '[';
+  EXPECT_THROW((void)Json::parse(bomb), svc::JsonError);
+  // A tame depth parses fine under the same limit.
+  EXPECT_NO_THROW((void)Json::parse("[[[[[[[[1]]]]]]]]"));
+}
+
+TEST(SvcJson, EscapeAndNumberRoundTrip) {
+  const std::string raw = "line\n\"quoted\"\tand\\slash\x01";
+  const Json back = Json::parse("\"" + svc::json_escape(raw) + "\"");
+  EXPECT_EQ(back.string, raw);
+  EXPECT_EQ(Json::parse(svc::json_number(0.1)).number, 0.1);
+  EXPECT_EQ(svc::json_number(
+                std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+// ----------------------------------------------------------------- codec
+
+[[nodiscard]] std::string valid_line() {
+  return R"({"id": 9, "tenant": "acme", "algorithm": "mrg", "k": 2,)"
+         R"( "metric": "L1", "seed": 11, "machines": 3,)"
+         R"( "max_dist_evals": 5000, "deadline_ms": 250,)"
+         R"( "options": {"capacity": 64},)"
+         R"( "points": [[0, 1], [2, 3], [4, 5], [6, 7]]})";
+}
+
+TEST(SvcCodec, ParsesEveryField) {
+  const svc::WireRequest wire = svc::parse_request(valid_line());
+  EXPECT_EQ(wire.id, 9u);
+  EXPECT_EQ(wire.tenant, "acme");
+  EXPECT_EQ(wire.request.algorithm, "mrg");
+  EXPECT_EQ(wire.request.k, 2u);
+  EXPECT_EQ(wire.request.metric, MetricKind::L1);
+  EXPECT_EQ(wire.request.seed, 11u);
+  EXPECT_EQ(wire.request.exec.machines, 3);
+  EXPECT_EQ(wire.max_dist_evals, 5000u);
+  EXPECT_EQ(wire.request.max_dist_evals, 5000u);
+  EXPECT_EQ(wire.deadline_ms, 250u);
+  ASSERT_EQ(wire.points.size(), 4u);
+  EXPECT_EQ(wire.points.dim(), 2u);
+  EXPECT_DOUBLE_EQ(wire.points[3][1], 7.0);
+  EXPECT_EQ(wire.request.points, &wire.points);
+  ASSERT_TRUE(std::holds_alternative<MrgOptions>(wire.request.options));
+  EXPECT_EQ(std::get<MrgOptions>(wire.request.options).capacity, 64u);
+}
+
+TEST(SvcCodec, MovedWireRequestKeepsPointsBound) {
+  svc::WireRequest wire = svc::parse_request(valid_line());
+  svc::WireRequest moved = std::move(wire);
+  EXPECT_EQ(moved.request.points, &moved.points);
+  std::vector<svc::WireRequest> queue;
+  queue.push_back(std::move(moved));
+  queue.emplace_back();  // may reallocate the vector
+  EXPECT_EQ(queue[0].request.points, &queue[0].points);
+}
+
+TEST(SvcCodec, AliasAndPerAlgorithmOptionsRoundTrip) {
+  const svc::WireRequest ccm = svc::parse_request(
+      R"({"k": 1, "algorithm": "grid-coreset",)"
+      R"( "options": {"epsilon": 0.25, "max_coreset_per_machine": 99},)"
+      R"( "points": [[1]]})");
+  EXPECT_EQ(ccm.request.algorithm, "ccm");  // canonicalized
+  ASSERT_TRUE(std::holds_alternative<CcmOptions>(ccm.request.options));
+  EXPECT_DOUBLE_EQ(std::get<CcmOptions>(ccm.request.options).epsilon, 0.25);
+  EXPECT_EQ(
+      std::get<CcmOptions>(ccm.request.options).max_coreset_per_machine, 99u);
+
+  const svc::WireRequest gon = svc::parse_request(
+      R"({"k": 1, "algorithm": "gon", "options": {"first": "random"},)"
+      R"( "points": [[1]]})");
+  EXPECT_EQ(std::get<GonzalezOptions>(gon.request.options).first,
+            GonzalezOptions::FirstCenter::Random);
+}
+
+/// Expects parse_request to throw api::Error(BadRequest) whose message
+/// contains `fragment`.
+void expect_bad(const std::string& line, std::string_view fragment) {
+  try {
+    (void)svc::parse_request(line);
+    FAIL() << "accepted: " << line;
+  } catch (const api::Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::BadRequest) << line;
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << fragment << "'";
+  }
+}
+
+TEST(SvcCodec, StrictSchemaRejectsEveryMalformedField) {
+  expect_bad("", "malformed JSON");
+  expect_bad("[]", "must be a JSON object");
+  expect_bad(R"({"k": 1})", "missing required field 'points'");
+  expect_bad(R"({"points": [[1]]})", "missing required field 'k'");
+  expect_bad(R"({"k": 1, "points": [[1]], "bogus": 1})", "unknown request");
+  expect_bad(R"({"k": -1, "points": [[1]]})", "k must be an integer");
+  expect_bad(R"({"k": 1.5, "points": [[1]]})", "k must be an integer");
+  expect_bad(R"({"k": 1, "points": []})", "points must not be empty");
+  expect_bad(R"({"k": 1, "points": [[1], [2, 3]]})", "row 1");
+  expect_bad(R"({"k": 1, "points": [[1], "x"]})", "row 1");
+  expect_bad(R"({"k": 1, "points": 7})", "points must be an array");
+  expect_bad(R"({"k": 1, "points": [[1]], "metric": "L3"})", "metric");
+  expect_bad(R"({"k": 1, "points": [[1]], "tenant": ""})", "tenant");
+  expect_bad(R"({"k": 1, "points": [[1]], "algorithm": "nope"})",
+             "unknown algorithm");
+  expect_bad(R"({"k": 1, "points": [[1]], "options": 5})",
+             "options must be an object");
+  expect_bad(
+      R"({"k": 1, "points": [[1]], "algorithm": "gon",)"
+      R"( "options": {"epsilon": 1}})",
+      "not an option of algorithm 'gon'");
+  expect_bad(
+      R"({"k": 1, "points": [[1]], "algorithm": "gon",)"
+      R"( "options": {"first": "середина"}})",
+      "options.first");
+  // Abuse bounds: declared sizes are rejected before allocation.
+  svc::CodecLimits limits;
+  limits.max_points = 4;
+  try {
+    (void)svc::parse_request(
+        R"({"k": 1, "points": [[1], [2], [3], [4], [5]]})", limits);
+    FAIL();
+  } catch (const api::Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::BadRequest);
+  }
+  limits = {};
+  limits.max_line_bytes = 16;
+  try {
+    (void)svc::parse_request(valid_line(), limits);
+    FAIL();
+  } catch (const api::Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::BadRequest);
+  }
+}
+
+TEST(SvcCodec, FuzzedLinesNeverEscapeTheTaxonomy) {
+  // Deterministic mutation fuzz over the valid record: truncations,
+  // byte flips, insertions and deletions. Every outcome must be either
+  // a parsed request or api::Error — anything else (crash, foreign
+  // exception) fails the test harness itself.
+  const std::string seed_line = valid_line();
+  Rng rng(20260729);
+  std::size_t parsed = 0;
+  std::size_t rejected = 0;
+  for (int round = 0; round < 4000; ++round) {
+    std::string line = seed_line;
+    const int mutations = 1 + static_cast<int>(rng.uniform_int(4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.uniform_int(line.size());
+      switch (rng.uniform_int(4)) {
+        case 0: line = line.substr(0, pos); break;                // truncate
+        case 1: line[pos] = static_cast<char>(rng.uniform_int(256)); break;
+        case 2:
+          line.insert(pos, 1, static_cast<char>(rng.uniform_int(256)));
+          break;
+        default: line.erase(pos, 1); break;
+      }
+      if (line.empty()) break;
+    }
+    try {
+      const svc::WireRequest wire = svc::parse_request(line);
+      EXPECT_GE(wire.request.k, 1u);
+      ++parsed;
+    } catch (const api::Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::BadRequest);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 4000u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(SvcCodec, ReportLinesAreValidJson) {
+  api::SolveReport report;
+  report.algorithm = "gon";
+  report.centers = {3, 1, 2};
+  report.value = 1.25;
+  report.guarantee = "2";
+  report.backend = "sequential";
+  report.kernel_isa = "avx2";
+  const Json full = Json::parse(svc::write_report(7, "a\"b", report));
+  EXPECT_EQ(full.find("status")->string, "ok");
+  EXPECT_EQ(full.find("tenant")->string, "a\"b");
+  EXPECT_EQ(full.find("centers")->array.size(), 3u);
+  EXPECT_NE(full.find("wall_seconds"), nullptr);
+
+  svc::ReportStyle stable;
+  stable.stable = true;
+  const Json trimmed =
+      Json::parse(svc::write_report(7, "t", report, stable));
+  EXPECT_EQ(trimmed.find("wall_seconds"), nullptr);
+  EXPECT_EQ(trimmed.find("backend"), nullptr);
+  EXPECT_EQ(trimmed.find("kernel_isa"), nullptr);
+
+  const Json error = Json::parse(
+      svc::write_error(8, "t", "bad-request", "k must be\nat least 1"));
+  EXPECT_EQ(error.find("status")->string, "bad-request");
+  EXPECT_EQ(error.find("error")->string, "k must be\nat least 1");
+}
+
+// ----------------------------------------------------------------- queue
+
+TEST(SvcQueue, BoundBlocksProducersAndCloseDrains) {
+  svc::BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  int three = 3;
+  EXPECT_FALSE(queue.try_push(three));  // full
+
+  std::atomic<bool> unblocked{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(3));  // blocks until a pop frees a slot
+    unblocked.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(unblocked.load());
+  EXPECT_EQ(queue.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(unblocked.load());
+
+  queue.close();
+  EXPECT_FALSE(queue.push(9));
+  // Closed but not drained: the backlog is still served, in order.
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.try_pop(), 3);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.try_pop(), std::nullopt);
+}
+
+// --------------------------------------------------------------- service
+
+/// Runs `lines` through one ServiceLoop (stdin-mode shape: submit all,
+/// close, drain) and returns the emitted reports in emission order.
+std::vector<std::string> serve_all(const std::vector<std::string>& lines,
+                                   const svc::ServiceConfig& config) {
+  svc::ServiceLoop service(config);
+  std::vector<std::string> reports;
+  std::mutex mutex;
+  const svc::EmitFn emit = [&](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    reports.push_back(line);
+  };
+  std::thread consumer([&service] { service.run(); });
+  for (const auto& line : lines) {
+    if (auto rejection = service.submit(line, emit)) emit(*rejection);
+  }
+  service.close();
+  consumer.join();
+  return reports;
+}
+
+[[nodiscard]] std::string request_line(int id, const char* tenant,
+                                       const char* algorithm, int k,
+                                       int points, std::uint64_t seed,
+                                       const char* extra = "") {
+  std::string line = "{\"id\": " + std::to_string(id) + ", \"tenant\": \"" +
+                     tenant + "\", \"algorithm\": \"" + algorithm +
+                     "\", \"k\": " + std::to_string(k) +
+                     ", \"machines\": 4, \"seed\": " + std::to_string(seed) +
+                     std::string(extra) + ", \"points\": [";
+  Rng rng(seed);
+  for (int p = 0; p < points; ++p) {
+    line += p == 0 ? "[" : ", [";
+    line += svc::json_number(rng.uniform(0.0, 100.0)) + ", " +
+            svc::json_number(rng.uniform(0.0, 100.0));
+    line += "]";
+  }
+  line += "]}";
+  return line;
+}
+
+[[nodiscard]] std::string status_of(const std::string& report) {
+  return Json::parse(report).find("status")->string;
+}
+
+TEST(SvcService, MixedBatchProducesOneTypedReportPerLine) {
+  svc::ServiceConfig config;
+  config.backend = exec::BackendKind::Sequential;
+  config.style.stable = true;
+  const auto reports = serve_all(
+      {
+          request_line(1, "a", "gon", 3, 50, 7),
+          "garbage",
+          request_line(2, "a", "mrg", 2, 40, 8),
+          R"({"id": 3, "k": 0, "points": [[1, 2]]})",
+          request_line(4, "a", "ccm", 2, 40, 9),
+      },
+      config);
+  ASSERT_EQ(reports.size(), 5u);
+  std::size_t ok = 0;
+  std::size_t bad = 0;
+  for (const auto& report : reports) {
+    const std::string status = status_of(report);
+    if (status == "ok") {
+      ++ok;
+    } else {
+      EXPECT_EQ(status, "bad-request") << report;
+      ++bad;
+    }
+  }
+  EXPECT_EQ(ok, 3u);
+  EXPECT_EQ(bad, 2u);
+}
+
+TEST(SvcService, TenantBudgetReservationRefundsAndExhausts) {
+  svc::ServiceConfig config;
+  config.backend = exec::BackendKind::Sequential;
+  config.tenant_budget = 2000;
+  config.style.stable = true;
+  svc::ServiceLoop service(config);
+  std::vector<std::string> reports;
+  const svc::EmitFn emit = [&](const std::string& line) {
+    reports.push_back(line);
+  };
+  std::thread consumer([&service] { service.run(); });
+
+  // Within budget: gon k=1 on 100 points = 100 solve + 100 eval = 200
+  // per request, capped at 300 each, so the 2000 budget admits many —
+  // the refund of each 300-reservation is what makes that possible:
+  // without it, 7 reservations would exhaust the tenant.
+  for (int i = 0; i < 6; ++i) {
+    auto rejection = service.submit(
+        request_line(i, "acme", "gon", 1, 100, 40 + i,
+                     ", \"max_dist_evals\": 300"),
+        emit);
+    EXPECT_FALSE(rejection.has_value()) << *rejection;
+  }
+  service.close();
+  consumer.join();
+  ASSERT_EQ(reports.size(), 6u);
+  for (const auto& report : reports) {
+    EXPECT_EQ(status_of(report), "ok") << report;
+    EXPECT_EQ(Json::parse(report).find("budget_consumed")->number, 200.0);
+  }
+  const auto tenant = service.tenant_budget("acme");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->consumed(), 6u * 200u);  // refunds returned the rest
+  EXPECT_EQ(service.tenant_budget("unseen"), nullptr);
+}
+
+TEST(SvcService, ExhaustedTenantIsRejectedAtAdmission) {
+  svc::ServiceConfig config;
+  config.backend = exec::BackendKind::Sequential;
+  config.tenant_budget = 150;  // one gon k=1 x 100 points needs 200
+  config.style.stable = true;
+  const auto reports = serve_all(
+      {
+          request_line(1, "t", "gon", 1, 100, 3),
+          request_line(2, "t", "gon", 1, 100, 4),
+      },
+      config);
+  ASSERT_EQ(reports.size(), 2u);
+  // Both capless requests draw on the shared 150-eval tenant odometer;
+  // the first exhausts it mid-run (a gon solve+eval needs 200) and the
+  // second fails at its first gate (or is refused at admission if the
+  // odometer already reads zero there) — either way the tenant's
+  // over-consumption surfaces as budget-exceeded on both.
+  EXPECT_EQ(status_of(reports[0]), "budget-exceeded");
+  EXPECT_EQ(status_of(reports[1]), "budget-exceeded");
+}
+
+TEST(SvcService, CaplessRequestsShareTheTenantOdometerWithoutStarving) {
+  // A capless request must not reserve the tenant's whole remainder:
+  // several queued capless requests of one tenant all run and settle
+  // against the same odometer instead of rejecting each other.
+  svc::ServiceConfig config;
+  config.backend = exec::BackendKind::Sequential;
+  config.tenant_budget = 10'000;
+  config.style.stable = true;
+  std::vector<std::string> lines;
+  for (int i = 0; i < 4; ++i) {
+    lines.push_back(request_line(i, "t", "gon", 1, 100, 70 + i));
+  }
+  svc::ServiceLoop service(config);
+  std::vector<std::string> reports;
+  const svc::EmitFn emit = [&](const std::string& line) {
+    reports.push_back(line);
+  };
+  // Submit everything before the consumer starts, so every admission
+  // decision happens while all four are outstanding.
+  for (const auto& line : lines) {
+    ASSERT_FALSE(service.submit(line, emit).has_value());
+  }
+  service.close();
+  service.run();
+  ASSERT_EQ(reports.size(), 4u);
+  for (const auto& report : reports) {
+    EXPECT_EQ(status_of(report), "ok") << report;
+  }
+  EXPECT_EQ(service.tenant_budget("t")->consumed(), 4u * 200u);
+}
+
+TEST(SvcService, DeadlineExpiryReportsDeadlineExceeded) {
+  svc::ServiceConfig config;
+  config.backend = exec::BackendKind::Sequential;
+  config.style.stable = true;
+  svc::ServiceLoop service(config);
+  std::vector<std::string> reports;
+  const svc::EmitFn emit = [&](const std::string& line) {
+    reports.push_back(line);
+  };
+  // Deterministic expiry: the consumer is not running yet, so the
+  // request sits admitted while its 1 ms deadline passes; the watcher
+  // fires the token, and execution maps the pre-dispatch Cancelled to
+  // deadline-exceeded. (Mid-scan deadline stops ride the same token
+  // through the gated kernels — HugeRoundStops covers that path.)
+  ASSERT_FALSE(
+      service
+          .submit(request_line(1, "t", "mrg", 4, 100, 5,
+                               ", \"deadline_ms\": 1"),
+                  emit)
+          .has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.close();
+  service.run();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(status_of(reports[0]), "deadline-exceeded") << reports[0];
+}
+
+TEST(SvcService, NonBlockingAdmissionAnswersOverloaded) {
+  svc::ServiceConfig config;
+  config.backend = exec::BackendKind::Sequential;
+  config.queue_capacity = 1;
+  svc::ServiceLoop service(config);  // run() never started: queue fills
+  std::vector<std::string> reports;
+  const svc::EmitFn emit = [&](const std::string& line) {
+    reports.push_back(line);
+  };
+  const std::string line = request_line(1, "t", "gon", 1, 10, 2);
+  EXPECT_FALSE(
+      service.submit(line, emit, /*blocking=*/false).has_value());
+  const auto overloaded =
+      service.submit(line, emit, /*blocking=*/false);
+  ASSERT_TRUE(overloaded.has_value());
+  EXPECT_EQ(status_of(*overloaded), "overloaded");
+  service.close();
+  service.run();  // drain the one admitted request
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(status_of(reports[0]), "ok");
+}
+
+TEST(SvcService, CancelAllStopsInFlightRequests) {
+  svc::ServiceConfig config;
+  config.backend = exec::BackendKind::Sequential;
+  config.queue_capacity = 8;
+  svc::ServiceLoop service(config);
+  std::vector<std::string> reports;
+  std::mutex mutex;
+  const svc::EmitFn emit = [&](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    reports.push_back(line);
+  };
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_FALSE(service
+                     .submit(request_line(i, "t", "gon", 32, 2000, 60 + i),
+                             emit)
+                     .has_value());
+  }
+  service.cancel_all();  // every queued request's token fires before run
+  service.close();
+  service.run();
+  ASSERT_EQ(reports.size(), 4u);
+  for (const auto& report : reports) {
+    EXPECT_EQ(status_of(report), "cancelled") << report;
+  }
+}
+
+/// The acceptance soak: two tenants' interleaved request streams on a
+/// shared work-stealing scheduler must yield byte-identical reports to
+/// a sequential one-at-a-time service — same statuses, same centers,
+/// same eval counts, same emission order.
+TEST(SvcService, ConcurrentMultiTenantSoakMatchesSequentialBitForBit) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 24; ++i) {
+    const char* tenant = i % 2 == 0 ? "alpha" : "beta";
+    const char* algorithm = (i % 4 == 0)   ? "mrg"
+                            : (i % 4 == 1) ? "gon"
+                            : (i % 4 == 2) ? "eim"
+                                           : "ccm";
+    lines.push_back(request_line(i, tenant, algorithm, 4, 300, 100 + i,
+                                 ", \"max_dist_evals\": 40000"));
+  }
+
+  svc::ServiceConfig seq;
+  seq.backend = exec::BackendKind::Sequential;
+  seq.tenant_budget = 10'000'000;
+  seq.style.stable = true;
+  const auto sequential = serve_all(lines, seq);
+
+  svc::ServiceConfig pool;
+  pool.backend = exec::BackendKind::ThreadPool;
+  pool.threads = 4;
+  pool.max_in_flight = 4;
+  pool.tenant_budget = 10'000'000;
+  pool.style.stable = true;
+  const auto concurrent = serve_all(lines, pool);
+
+  ASSERT_EQ(sequential.size(), lines.size());
+  EXPECT_EQ(sequential, concurrent);
+  for (const auto& report : sequential) {
+    EXPECT_EQ(status_of(report), "ok") << report;
+  }
+}
+
+}  // namespace
+}  // namespace kc
