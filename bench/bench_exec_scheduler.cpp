@@ -279,10 +279,15 @@ void write_json(const Config& cfg, const std::vector<Entry>& entries) {
   }
   // hw_concurrency keys the interpretation: overlap speedup of two
   // concurrent jobs cannot exceed 1.0 on a single hardware thread, no
-  // matter how well the scheduler interleaves them.
+  // matter how well the scheduler interleaves them. Below two hardware
+  // threads every parallel measurement in this file degenerates to a
+  // context-switch benchmark, so the report brands itself untrusted —
+  // downstream tooling must not regress-gate on those numbers.
+  const unsigned hw = std::thread::hardware_concurrency();
   out << "{\n  \"bench\": \"exec\",\n  \"threads\": " << cfg.threads
-      << ",\n  \"hw_concurrency\": " << std::thread::hardware_concurrency()
-      << ",\n  \"entries\": [\n";
+      << ",\n  \"hw_concurrency\": " << hw;
+  if (hw < 2) out << ",\n  \"untrusted\": true";
+  out << ",\n  \"entries\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     out << "    {\"name\": \"" << entries[i].name
         << "\", \"value\": " << entries[i].value << ", \"unit\": \""
@@ -313,6 +318,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u   pool threads: %d%s\n", hw, cfg.threads,
+              hw < 2 ? "   [UNTRUSTED: parallel timings are meaningless "
+                       "below 2 hardware threads]"
+                     : "");
 
   std::vector<Entry> entries;
   bench_dispatch(cfg, entries);

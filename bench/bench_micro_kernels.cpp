@@ -24,11 +24,16 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/kcenter.hpp"
+#include "data/generators.hpp"
+#include "geom/counters.hpp"
 #include "geom/kernels.hpp"
+#include "geom/spatial_index.hpp"
 
 namespace {
 
@@ -46,12 +51,19 @@ kc::PointSet make_points(std::size_t n, std::size_t dim, std::uint64_t seed) {
 
 struct Cell {
   std::string isa;
-  std::string kernel;  // "update_nearest" or "update_nearest_multi"
-  std::string layout;  // "contig" or "gather"
+  std::string kernel;  // "update_nearest", "update_nearest_multi",
+                       // "unpruned_scan", "pruned_scan_cold" or
+                       // "pruned_scan_warm"
+  std::string layout;  // "contig"/"gather"; for the pruned-scan matrix,
+                       // the data shape: "clustered" or "uniform"
   std::string metric;
   std::size_t dim;
   std::size_t centers;
   double ns_per_pair;
+  /// Pruned-scan cells only: fraction of the n*k pairs the grid bound
+  /// skipped (ns_per_pair above is *effective* — wall time over all
+  /// n*k pairs, evaluated or pruned). Negative = not a pruned cell.
+  double prune_ratio = -1.0;
 };
 
 /// Times `body` (which performs `pairs` pair evaluations) best-of-reps.
@@ -155,6 +167,100 @@ Cell run_multi_cell(const KernelTable& table, kc::MetricKind metric,
           std::string(kc::to_string(metric)), dim, ncenters, ns};
 }
 
+/// The three shapes of the pruned-scan matrix.
+enum class PruneShape {
+  Unpruned,  ///< exact blocked multi-scan through the oracle (the bar)
+  Cold,      ///< ordered pruned scan from best[] = inf, no cached bounds
+  Warm,      ///< ordered pruned scan of k *new* centers against an
+             ///< already-converged best[] with a live PruneCache — the
+             ///< steady state of iterative rounds (EIM select rounds,
+             ///< GON sweeps after the first few)
+};
+
+/// Effective cost of one full k-center scan through the oracle: wall
+/// time divided by all n*k pairs, whether evaluated or skipped. Pruned
+/// cells use the ordered-domain scans (best[] in cell order, no
+/// per-cell gather/scatter); their values are bit-identical to the
+/// unpruned cell's modulo the known permutation, so any gap in
+/// effective ns/pair is pure pruning win. All shapes scan GON-selected
+/// centers — the realistic sweep sequence, where each new center
+/// approaches from an unexplored direction (the adversarial case for
+/// the bounds, unlike random centers that often land in already-covered
+/// blobs). Clustered inputs (tight Gaussian blobs, the paper's GAU
+/// generator) are the favourable geometry; uniform data bounds the
+/// bound-test overhead when geometry gives pruning nothing.
+Cell run_pruned_cell(kc::MetricKind metric, std::size_t dim, std::size_t k,
+                     bool clustered, PruneShape shape,
+                     const MatrixConfig& cfg) {
+  kc::Rng rng(clustered ? 42 : 43);
+  const kc::PointSet ps =
+      clustered ? kc::data::generate_gau(cfg.n, 16, dim, 100.0, 0.1, rng)
+                : kc::data::generate_unif(cfg.n, dim, 100.0, rng);
+  kc::DistanceOracle oracle(ps, metric);
+  const std::vector<kc::index_t> ids = ps.all_indices();
+  // 2k GON centers: the first k prime the warm shape, the second k are
+  // what it times; cold/unpruned scan the first k.
+  const auto gon = kc::gonzalez(oracle, ids, 2 * k);
+  const std::span<const kc::index_t> prime_centers{gon.centers.data(), k};
+  const std::span<const kc::index_t> scan_centers =
+      shape == PruneShape::Warm
+          ? std::span<const kc::index_t>{gon.centers.data() + k, k}
+          : prime_centers;
+
+  std::optional<kc::SpatialIndex> index;
+  std::optional<kc::PruneCache> cache;
+  if (shape != PruneShape::Unpruned) {
+    index.emplace(ps);
+    oracle.bind_index(&*index, kc::PruneMode::On);
+  }
+  std::vector<double> best(cfg.n, kc::kInfDist);
+  if (shape == PruneShape::Warm) {
+    cache.emplace(*index);
+    oracle.update_nearest_multi_ordered(prime_centers, best, &*cache);
+  }
+  // One timed region = one whole scan. Cold/unpruned restart from inf
+  // each rep (the select-round shape: within the call the cell bounds
+  // tighten block by block, so late center blocks prune against early
+  // ones). Warm folds its centers once in the warm-up call; timed reps
+  // then measure the converged re-scan, where the cached bounds skip
+  // nearly everything — the cost an iterative round actually pays.
+  const auto body = [&] {
+    switch (shape) {
+      case PruneShape::Unpruned:
+        std::fill(best.begin(), best.end(), kc::kInfDist);
+        oracle.update_nearest_multi(ids, scan_centers, best);
+        break;
+      case PruneShape::Cold:
+        std::fill(best.begin(), best.end(), kc::kInfDist);
+        oracle.update_nearest_multi_ordered(scan_centers, best);
+        break;
+      case PruneShape::Warm:
+        oracle.update_nearest_multi_ordered(scan_centers, best, &*cache);
+        break;
+    }
+  };
+  const double ns = time_ns_per_pair(cfg.n * k, cfg.reps, body);
+  const kc::WorkScope scope;
+  body();
+  const kc::WorkCounters counted = scope.elapsed();
+  Cell cell{kc::simd::active_kernels().name,
+            shape == PruneShape::Unpruned ? "unpruned_scan"
+            : shape == PruneShape::Cold   ? "pruned_scan_cold"
+                                          : "pruned_scan_warm",
+            clustered ? "clustered" : "uniform",
+            std::string(kc::to_string(metric)),
+            dim,
+            k,
+            ns};
+  if (shape != PruneShape::Unpruned) {
+    cell.prune_ratio =
+        static_cast<double>(counted.pruned_pairs) /
+        static_cast<double>(std::max<std::uint64_t>(
+            std::uint64_t{1}, counted.distance_evals + counted.pruned_pairs));
+  }
+  return cell;
+}
+
 std::vector<Cell> run_matrix(const MatrixConfig& cfg) {
   std::vector<const KernelTable*> tables;
   for (const IsaLevel level :
@@ -187,16 +293,40 @@ std::vector<Cell> run_matrix(const MatrixConfig& cfg) {
                                      kc::simd::kCenterBlock, contig, cfg));
     }
   }
+
+  // Pruned-scan matrix: the grid-pruned oracle path vs the exact full
+  // scan, on clustered vs uniform inputs at two k. These go through the
+  // oracle (active ISA only) because pruning lives above the kernel
+  // table; the unpruned clustered cell is the baseline the pruned ones
+  // must beat. Cold k=16 is the hardest shape — the unpruneable first
+  // center block alone is 1/4 of the pairs — so it is reported next to
+  // the shapes where the bounds actually have room to work (cold k=64,
+  // warm any k).
+  for (const bool clustered : {true, false}) {
+    for (const std::size_t k : {std::size_t{16}, std::size_t{64}}) {
+      if (cfg.n < 2 * k) continue;
+      for (const PruneShape shape :
+           {PruneShape::Unpruned, PruneShape::Cold, PruneShape::Warm}) {
+        cells.push_back(
+            run_pruned_cell(kc::MetricKind::L2, 2, k, clustered, shape, cfg));
+      }
+    }
+  }
   return cells;
 }
 
 void print_table(const std::vector<Cell>& cells) {
-  std::printf("%-8s %-22s %-7s %-5s %4s %8s %12s\n", "isa", "kernel", "layout",
-              "metric", "dim", "centers", "ns/pair");
+  std::printf("%-8s %-22s %-9s %-5s %4s %8s %12s %8s\n", "isa", "kernel",
+              "layout", "metric", "dim", "centers", "ns/pair", "pruned");
   for (const auto& c : cells) {
-    std::printf("%-8s %-22s %-7s %-5s %4zu %8zu %12.3f\n", c.isa.c_str(),
+    std::printf("%-8s %-22s %-9s %-5s %4zu %8zu %12.3f ", c.isa.c_str(),
                 c.kernel.c_str(), c.layout.c_str(), c.metric.c_str(), c.dim,
                 c.centers, c.ns_per_pair);
+    if (c.prune_ratio >= 0.0) {
+      std::printf("%7.1f%%\n", 100.0 * c.prune_ratio);
+    } else {
+      std::printf("%8s\n", "-");
+    }
   }
 }
 
@@ -215,8 +345,9 @@ void write_json(const std::vector<Cell>& cells, const MatrixConfig& cfg,
     out << "    {\"isa\": \"" << c.isa << "\", \"kernel\": \"" << c.kernel
         << "\", \"layout\": \"" << c.layout << "\", \"metric\": \"" << c.metric
         << "\", \"dim\": " << c.dim << ", \"centers\": " << c.centers
-        << ", \"ns_per_pair\": " << c.ns_per_pair << "}"
-        << (i + 1 < cells.size() ? "," : "") << "\n";
+        << ", \"ns_per_pair\": " << c.ns_per_pair;
+    if (c.prune_ratio >= 0.0) out << ", \"prune_ratio\": " << c.prune_ratio;
+    out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::printf("wrote %s\n", path.c_str());

@@ -38,6 +38,10 @@ struct SolveReport {
   bool sampled = false;               ///< EIM: false = degenerated to GON
   std::size_t final_sample_size = 0;  ///< EIM: |C| at loop exit
   std::uint64_t dist_evals = 0;       ///< distance evaluations charged
+  /// Point-pair evaluations the spatial-index pruning skipped (0 when
+  /// pruning was off or never engaged). dist_evals + pairs_pruned is
+  /// comparable to an unpruned run's dist_evals.
+  std::uint64_t pairs_pruned = 0;
   /// Evaluations charged to the request's EvalBudget odometer during
   /// this solve (solve + offline evaluation when budgeted_eval is on).
   /// Exact for a budget private to the request; for a budget shared

@@ -13,6 +13,7 @@
 #include "exec/cpu_clock.hpp"
 #include "geom/counters.hpp"
 #include "geom/kernels.hpp"
+#include "geom/spatial_index.hpp"
 #include "mapreduce/cluster.hpp"
 
 namespace kc::api {
@@ -139,6 +140,22 @@ SolveReport Solver::solve(const SolveRequest& request) {
   DistanceOracle oracle(*request.points, request.metric);
   oracle.bind_executor(context.backend.get());
   if (chunk_context.armed()) oracle.bind_context(&chunk_context);
+
+  // Spatial pruning: build the grid index when the request wants it.
+  // Auto only pays the index build where the grid can win (low
+  // dimension, enough points that full scans dominate); On trusts the
+  // caller. Either way the scans stay bit-identical — Off and
+  // KC_FORCE_NO_PRUNE keep the exact pre-index path.
+  std::optional<SpatialIndex> index;
+  const bool build_index =
+      request.prune != PruneMode::Off && !force_no_prune_requested() &&
+      (request.prune == PruneMode::On ||
+       (request.points->dim() <= kAutoPruneMaxDim &&
+        request.points->size() >= kAutoPruneMinPoints));
+  if (build_index) {
+    index.emplace(*request.points);
+    oracle.bind_index(&*index, request.prune);
+  }
   context.oracle = &oracle;
   const std::vector<index_t> all = request.points->all_indices();
   context.points = all;
@@ -183,7 +200,9 @@ SolveReport Solver::solve(const SolveRequest& request) {
   // simulated time is wall time — sampled before the offline value
   // evaluation below, which is not charged to the algorithm.
   if (!info.uses_cluster) {
-    report.dist_evals = work.elapsed().distance_evals;
+    const WorkCounters elapsed = work.elapsed();
+    report.dist_evals = elapsed.distance_evals;
+    report.pairs_pruned = elapsed.pruned_pairs;
     report.sim_seconds = report.wall_seconds;
   }
   if (request.max_dist_evals > 0 &&

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "geom/spatial_index.hpp"
 #include "rng/rng.hpp"
 
 namespace kc {
@@ -46,13 +47,11 @@ void check_cancelled(const CcmOptions& options, const char* where) {
     std::vector<std::int64_t> key(points.dim());
     bool overflow = false;
     for (const index_t id : part) {
-      const std::span<const double> p = points[id];
-      for (std::size_t c = 0; c < key.size(); ++c) {
-        // Clamp before the cast: a coordinate huge relative to w (tiny
-        // r_hat under far-flung outliers) must saturate, not overflow.
-        key[c] = static_cast<std::int64_t>(
-            std::clamp(std::floor(p[c] / w), -9.0e18, 9.0e18));
-      }
+      // Shared snapping helper (geom/spatial_index.hpp): the coreset
+      // grid and the pruning index cannot drift apart. It clamps before
+      // the cast so a coordinate huge relative to w (tiny r_hat under
+      // far-flung outliers) saturates instead of overflowing.
+      grid_cell_key(points[id], w, key);
       if (cells.try_emplace(key, id).second) {
         reps.push_back(id);
         if (reps.size() > cap) {

@@ -16,6 +16,10 @@ void add_distance_evals(std::uint64_t evals, std::uint64_t dim) noexcept {
   t_counters.coord_ops += evals * dim;
 }
 
+void add_pruned_pairs(std::uint64_t pairs) noexcept {
+  t_counters.pruned_pairs += pairs;
+}
+
 void reset() noexcept { t_counters = WorkCounters{}; }
 
 }  // namespace counters

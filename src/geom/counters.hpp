@@ -18,15 +18,22 @@ namespace kc {
 struct WorkCounters {
   std::uint64_t distance_evals = 0;  ///< point-pair distance computations
   std::uint64_t coord_ops = 0;       ///< coordinate-level operations (~= evals * dim)
+  /// Point-pair evaluations a spatial-index scan skipped outright (the
+  /// triangle-inequality bound proved the pair could not improve any
+  /// result). For a pruned scan, distance_evals + pruned_pairs equals
+  /// what the unpruned scan would have charged to distance_evals.
+  std::uint64_t pruned_pairs = 0;
 
   friend WorkCounters operator-(WorkCounters a, const WorkCounters& b) {
     a.distance_evals -= b.distance_evals;
     a.coord_ops -= b.coord_ops;
+    a.pruned_pairs -= b.pruned_pairs;
     return a;
   }
   friend WorkCounters operator+(WorkCounters a, const WorkCounters& b) {
     a.distance_evals += b.distance_evals;
     a.coord_ops += b.coord_ops;
+    a.pruned_pairs += b.pruned_pairs;
     return a;
   }
 };
@@ -38,6 +45,10 @@ namespace counters {
 
 /// Adds to the current thread's counters. Called by distance kernels.
 void add_distance_evals(std::uint64_t evals, std::uint64_t dim) noexcept;
+
+/// Records point-pair evaluations skipped by a spatial-index prune.
+/// Called by the cell-pruned scans (geom/spatial_index.hpp).
+void add_pruned_pairs(std::uint64_t pairs) noexcept;
 
 /// Resets the current thread's counters to zero. Intended for tests;
 /// production code should difference two read() snapshots instead.

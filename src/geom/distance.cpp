@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <stdexcept>
 
 #include "exec/chunk_context.hpp"
 #include "geom/parallel.hpp"
+#include "geom/spatial_index.hpp"
 
 namespace kc {
 
@@ -56,6 +58,25 @@ namespace {
   return ctx != nullptr && ctx->armed();
 }
 
+/// Max over a non-empty range. Four independent accumulator chains keep
+/// the loop ILP-bound (one maxsd per chain per cycle) instead of
+/// serialized on a single compare — this runs after every surviving
+/// center block of a pruned scan, so it sits on the hot path.
+[[nodiscard]] double max_of(const double* v, std::size_t n) noexcept {
+  double m0 = v[0], m1 = v[0], m2 = v[0], m3 = v[0];
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    m0 = v[j] > m0 ? v[j] : m0;
+    m1 = v[j + 1] > m1 ? v[j + 1] : m1;
+    m2 = v[j + 2] > m2 ? v[j + 2] : m2;
+    m3 = v[j + 3] > m3 ? v[j + 3] : m3;
+  }
+  for (; j < n; ++j) m0 = v[j] > m0 ? v[j] : m0;
+  m0 = m1 > m0 ? m1 : m0;
+  m2 = m3 > m2 ? m3 : m2;
+  return m2 > m0 ? m2 : m0;
+}
+
 }  // namespace
 
 // The kernel tables are indexed by MetricKind's enumerator values.
@@ -73,6 +94,58 @@ std::string_view to_string(MetricKind kind) noexcept {
   return "?";
 }
 
+std::string_view to_string(PruneMode mode) noexcept {
+  switch (mode) {
+    case PruneMode::Off: return "off";
+    case PruneMode::Auto: return "auto";
+    case PruneMode::On: return "on";
+  }
+  return "?";
+}
+
+bool DistanceOracle::pruning_enabled() const noexcept {
+  return index_ != nullptr && prune_mode_ != PruneMode::Off &&
+         !force_no_prune_requested();
+}
+
+bool DistanceOracle::ordered_scans_available() const noexcept {
+  return pruning_enabled() && &index_->points() == points_ &&
+         points_->size() > 0;
+}
+
+void DistanceOracle::update_nearest_ordered(index_t center,
+                                            std::span<double> best_ordered,
+                                            PruneCache* cache) const {
+  if (!ordered_scans_available() || best_ordered.size() != points_->size()) {
+    throw std::logic_error(
+        "update_nearest_ordered: no matching spatial index bound (check "
+        "ordered_scans_available())");
+  }
+  const index_t one[1] = {center};
+  pruned_scan({one, 1}, best_ordered, cache, /*ordered=*/true,
+              "update_nearest_ordered");
+}
+
+void DistanceOracle::update_nearest_multi_ordered(
+    std::span<const index_t> centers, std::span<double> best_ordered,
+    PruneCache* cache) const {
+  if (!ordered_scans_available() || best_ordered.size() != points_->size()) {
+    throw std::logic_error(
+        "update_nearest_multi_ordered: no matching spatial index bound "
+        "(check ordered_scans_available())");
+  }
+  if (centers.empty()) return;
+  pruned_scan(centers, best_ordered, cache, /*ordered=*/true,
+              "update_nearest_multi_ordered");
+}
+
+bool DistanceOracle::prune_applicable(
+    std::span<const index_t> ids) const noexcept {
+  return pruning_enabled() && &index_->points() == points_ && !ids.empty() &&
+         ids.size() == points_->size() && ids.front() == 0 &&
+         simd::is_contiguous_run(ids.data(), ids.size());
+}
+
 double DistanceOracle::comparable(index_t a, index_t b) const noexcept {
   counters::add_distance_evals(1, dim());
   return kernels_->pair[metric_index()](points_->data(a), points_->data(b),
@@ -87,9 +160,269 @@ double DistanceOracle::from_reported(double dist) const noexcept {
   return kind_ == MetricKind::L2 ? dist * dist : dist;
 }
 
+void DistanceOracle::pruned_scan(std::span<const index_t> centers,
+                                 std::span<double> best, PruneCache* cache,
+                                 bool ordered, std::string_view where) const {
+  const SpatialIndex& idx = *index_;
+  const std::size_t n = points_->size();
+  const std::size_t d = dim();
+  const std::size_t k = centers.size();
+  const std::size_t ncells = idx.cell_count();
+  const std::size_t m = metric_index();
+
+  // Per-cell upper bounds: cached across calls when the caller supplies
+  // a primed cache for this index, otherwise one O(n) fold over best.
+  // The invariant both paths establish — ub[c] >= best[i] for every
+  // member i of c — is what makes a skip a provable no-op, and min-folds
+  // only ever lower best, so a bound can go stale large (less pruning)
+  // but never stale small.
+  std::vector<double> local_ub;
+  std::span<double> ub;
+  const bool cached = cache != nullptr && cache->index() == index_;
+  if (cached) {
+    ub = cache->bounds();
+  } else {
+    local_ub.assign(ncells, 0.0);
+    ub = local_ub;
+  }
+  bool all_inf = false;
+  if (!cached || !cache->primed()) {
+    if (ordered) {
+      // Fresh scans (the GON first sweep, cold select rounds) are all
+      // infinite — one branch-free vectorizable pass detects that and
+      // skips the per-cell maxima entirely.
+      all_inf = n > 0;
+      for (std::size_t i = 0; i < n && all_inf; i += 1024) {
+        const std::size_t e = std::min(n, i + 1024);
+        bool chunk_inf = true;
+        for (std::size_t j = i; j < e; ++j) {
+          chunk_inf = chunk_inf && best[j] == kInfDist;
+        }
+        all_inf = chunk_inf;
+      }
+      if (all_inf) {
+        std::fill(ub.begin(), ub.end(), kInfDist);
+      } else {
+        // Ordered best: each cell is a contiguous slice, so priming is
+        // a straight max per slice.
+        for (std::size_t c = 0; c < ncells; ++c) {
+          const std::size_t sz = idx.cell_size(c);
+          ub[c] = sz > 0 ? max_of(best.data() + idx.cell_begin(c), sz) : 0.0;
+        }
+      }
+    } else {
+      std::fill(ub.begin(), ub.end(), 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        double& u = ub[idx.cell_of(static_cast<index_t>(i))];
+        if (best[i] > u) u = best[i];
+      }
+    }
+    if (cached) cache->set_primed();
+  }
+
+  // Cold ordered scans (best all infinite, the GON first sweep and the
+  // EIM cold select round): no bound can prune the first center block
+  // anywhere, so fold it over whole contiguous row ranges at full
+  // blocked-kernel speed instead of dispatching cell by cell. Later
+  // blocks then prune against the bounds this pass leaves behind.
+  const std::size_t nb0 =
+      ordered && all_inf ? std::min(k, simd::kCenterBlock) : 0;
+
+  const bool gate = gating(ctx_);
+  std::atomic<int> stop{0};
+  std::atomic<std::uint64_t> evals_total{0};
+  std::atomic<std::uint64_t> pruned_total{0};
+
+  const exec::ExecutionBackend::RangeBody body = [&](std::size_t clo,
+                                                     std::size_t chi) {
+    std::vector<double> tmp;
+    const double* cptr[simd::kCenterBlock];
+    std::uint64_t chunk_evals = 0;
+    std::uint64_t chunk_pruned = 0;
+    // Budget credit is pre-bought in ~kGateEvals batches (one atomic per
+    // gate, like pairwise_comparable) and the unused tail refunded at
+    // chunk end, so a completed scan charges exactly what it evaluated.
+    std::uint64_t credit = 0;
+    // Pairs dispatched since the last token poll, counting pruned pairs
+    // too: a scan that prunes nearly everything does little kernel work
+    // but must still notice a cancel within ~one gate of bound tests.
+    std::uint64_t since_poll = 0;
+    const auto pay = [&](std::uint64_t evals) {
+      if (!gate) return true;
+      since_poll += evals;
+      if (credit >= evals) {
+        credit -= evals;
+        return true;
+      }
+      const std::uint64_t need = evals - credit;
+      const std::uint64_t batch = std::max(need, exec::kGateEvals);
+      exec::StopReason reason = ctx_->charge(batch);
+      if (reason == exec::StopReason::None) {
+        credit += batch - evals;
+        return true;
+      }
+      if (reason == exec::StopReason::BudgetExhausted && batch != need) {
+        // The gate-sized pre-buy overshot the budget's remainder; the
+        // exact need may still fit — only an actual shortfall stops the
+        // scan, so the budget drains to within one sub-call of empty.
+        reason = ctx_->charge(need);
+        if (reason == exec::StopReason::None) {
+          credit = 0;
+          return true;
+        }
+      }
+      stop.store(static_cast<int>(reason), std::memory_order_relaxed);
+      return false;
+    };
+    bool stopped = false;
+
+    // Global pass for cold ordered scans: the chunk's cells occupy one
+    // contiguous row range, and best is in the same order, so the first
+    // block streams it exactly like the unpruned blocked kernel.
+    if (nb0 > 0) {
+      for (std::size_t j = 0; j < nb0; ++j) {
+        cptr[j] = points_->data(centers[j]);
+      }
+      const std::size_t row_lo = idx.cell_begin(clo);
+      const std::size_t row_hi = idx.cell_begin(chi);
+      const std::size_t rgate = std::max<std::size_t>(
+          1, static_cast<std::size_t>(exec::kGateEvals) / nb0);
+      for (std::size_t r = row_lo; r < row_hi && !stopped; r += rgate) {
+        const std::size_t re = std::min(row_hi, r + rgate);
+        if (!pay(static_cast<std::uint64_t>(re - r) * nb0)) {
+          stopped = true;
+          break;
+        }
+        kernels_->nearest_multi_contig[m](idx.rows() + r * d, d, re - r, cptr,
+                                          nb0, best.data() + r);
+        chunk_evals += static_cast<std::uint64_t>(re - r) * nb0;
+      }
+    }
+
+    // After a global pass that covered every center, the per-cell walk
+    // only has bounds to refresh — and only a cache outlives the scan.
+    const bool cell_walk = !(nb0 >= k && !cached);
+    for (std::size_t c = clo; c < chi && !stopped && cell_walk; ++c) {
+      if (gate && stop.load(std::memory_order_relaxed) != 0) break;
+      const std::size_t base = idx.cell_begin(c);
+      const std::size_t sz = idx.cell_size(c);
+      // Ordered scans fold straight into the caller's slice; id-domain
+      // scans stage through tmp (gather/scatter around the kernel).
+      double* tmpp = ordered ? best.data() + base : nullptr;
+      double ubc;
+      if (nb0 > 0) {
+        // Seed the bound from the global pass's results.
+        ubc = max_of(tmpp, sz);
+      } else {
+        ubc = ub[c];
+      }
+      bool gathered = false;
+      std::size_t pos = nb0;
+      while (pos < k && !stopped) {
+        // Next block of surviving centers, in ascending center order —
+        // the same global fold order as the unpruned scan, so skipped
+        // centers (provable no-ops) are the only difference.
+        std::size_t nb = 0;
+        while (pos < k && nb < simd::kCenterBlock) {
+          const double* cen = points_->data(centers[pos]);
+          if (idx.cell_mindist_comparable(kind_, cen, c) >= ubc) {
+            chunk_pruned += sz;
+            since_poll += sz;
+          } else {
+            cptr[nb++] = cen;
+          }
+          ++pos;
+        }
+        if (nb == 0) continue;
+        if (!ordered && !gathered) {
+          tmp.resize(sz);
+          const index_t* ord = idx.order().data() + base;
+          for (std::size_t j = 0; j < sz; ++j) tmp[j] = best[ord[j]];
+          tmpp = tmp.data();
+        }
+        gathered = true;
+        // Giant cells (duplicate-heavy data) are gated in row
+        // sub-ranges so one kernel call never overruns a stop by more
+        // than ~kGateEvals pairs.
+        const std::size_t rgate = std::max<std::size_t>(
+            1, static_cast<std::size_t>(exec::kGateEvals) / nb);
+        for (std::size_t r = 0; r < sz; r += rgate) {
+          const std::size_t re = std::min(sz, r + rgate);
+          if (!pay(static_cast<std::uint64_t>(re - r) * nb)) {
+            stopped = true;
+            break;
+          }
+          kernels_->nearest_multi_contig[m](idx.rows() + (base + r) * d, d,
+                                            re - r, cptr, nb, tmpp + r);
+          chunk_evals += static_cast<std::uint64_t>(re - r) * nb;
+        }
+        if (stopped) break;
+        // Refresh the bound from the just-tightened values so the
+        // remaining centers prune against them — this is what lets a
+        // fresh best == kInfDist scan (ub starts infinite) prune every
+        // block after the first. After the last block the max only
+        // matters when the bounds outlive this scan in a cache.
+        if (pos < k || cached) ubc = max_of(tmpp, sz);
+      }
+      if (!stopped && (ordered || gathered)) {
+        if (!ordered && gathered) {
+          const index_t* ord = idx.order().data() + base;
+          for (std::size_t j = 0; j < sz; ++j) best[ord[j]] = tmp[j];
+        }
+        ub[c] = ubc;
+      }
+      if (gate && since_poll >= exec::kGateEvals) {
+        since_poll = 0;
+        const exec::StopReason reason = ctx_->check();
+        if (reason != exec::StopReason::None) {
+          stop.store(static_cast<int>(reason), std::memory_order_relaxed);
+          stopped = true;
+        }
+      }
+    }
+    if (gate && credit > 0 && ctx_->budget != nullptr) {
+      ctx_->budget->credit(credit);
+    }
+    evals_total.fetch_add(chunk_evals, std::memory_order_relaxed);
+    pruned_total.fetch_add(chunk_pruned, std::memory_order_relaxed);
+  };
+
+  // Fan out over *cell* ranges (cells own disjoint slices of best and
+  // ub, so chunks never share state); the grain targets the same
+  // ~shard_min_/2 pair evaluations per chunk as the unpruned scans.
+  const bool fan_out =
+      exec_ != nullptr && k > 0 && n > shard_min_ / k && ncells > 1;
+  if (fan_out) {
+    const std::size_t grain = std::max<std::size_t>(
+        1, (shard_min_ / 2) * ncells / std::max<std::size_t>(1, n * k));
+    exec_->parallel_for(ncells, grain, body);
+  } else {
+    body(0, ncells);
+  }
+
+  // Counters reflect the split that actually happened: evaluated pairs
+  // plus pruned pairs sum to the n*k an unpruned scan would charge
+  // (when the scan runs to completion).
+  counters::add_distance_evals(evals_total.load(std::memory_order_relaxed),
+                               d);
+  counters::add_pruned_pairs(pruned_total.load(std::memory_order_relaxed));
+
+  const auto reason =
+      static_cast<exec::StopReason>(stop.load(std::memory_order_relaxed));
+  if (reason != exec::StopReason::None) {
+    exec::ChunkContext::raise(reason, where);
+  }
+}
+
 void DistanceOracle::update_nearest(std::span<const index_t> ids,
-                                    index_t center,
-                                    std::span<double> best) const {
+                                    index_t center, std::span<double> best,
+                                    PruneCache* cache) const {
+  if (prune_applicable(ids)) {
+    const index_t one[1] = {center};
+    pruned_scan({one, 1}, best, cache, /*ordered=*/false, "update_nearest");
+    return;
+  }
+  if (cache != nullptr) cache->invalidate();
   // The whole scan is charged to the calling thread up front, so a
   // sharded execution attributes work exactly as a sequential one.
   counters::add_distance_evals(ids.size(), dim());
@@ -130,8 +463,15 @@ void DistanceOracle::update_nearest(std::span<const index_t> ids,
 
 void DistanceOracle::update_nearest_multi(std::span<const index_t> ids,
                                           std::span<const index_t> centers,
-                                          std::span<double> best) const {
+                                          std::span<double> best,
+                                          PruneCache* cache) const {
   if (ids.empty() || centers.empty()) return;
+  if (prune_applicable(ids)) {
+    pruned_scan(centers, best, cache, /*ordered=*/false,
+                "update_nearest_multi");
+    return;
+  }
+  if (cache != nullptr) cache->invalidate();
   // One bulk charge for the whole ids x centers batch.
   counters::add_distance_evals(ids.size() * centers.size(), dim());
 

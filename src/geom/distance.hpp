@@ -31,10 +31,24 @@ struct ChunkContext;
 
 namespace kc {
 
+class SpatialIndex;
+class PruneCache;
+
 /// Default minimum scan length before a bulk kernel shards across an
 /// execution backend; below this the fan-out overhead dominates the
 /// O(n * dim) work of the scan itself.
 inline constexpr std::size_t kShardMinItems = std::size_t{1} << 14;
+
+/// Whether the oracle may route full scans through a bound spatial
+/// index's cell-pruned path (geom/spatial_index.hpp).
+enum class PruneMode {
+  Off,   ///< never prune; the exact pre-index code path
+  Auto,  ///< prune when an index is bound (the facade only builds one
+         ///< when its auto heuristic holds, so Auto defers to that)
+  On,    ///< prune whenever an index is bound
+};
+
+[[nodiscard]] std::string_view to_string(PruneMode mode) noexcept;
 
 enum class MetricKind {
   L2,    ///< Euclidean; comparable value = squared distance
@@ -104,6 +118,29 @@ class DistanceOracle {
     return ctx_;
   }
 
+  /// Binds (or, with nullptr, unbinds) a spatial index built over this
+  /// oracle's PointSet. With an index bound and `mode` not Off, the
+  /// bulk kernels route full-range scans (ids == all point indices)
+  /// through cell-pruned scans that skip whole grid cells the triangle
+  /// inequality proves irrelevant — bit-identical results, with the
+  /// skipped pairs charged to counters as pruned_pairs instead of
+  /// distance_evals. Partial-range scans, a mismatched index, or the
+  /// KC_FORCE_NO_PRUNE environment variable fall back to the exact
+  /// unpruned path. The oracle does not own the index.
+  void bind_index(const SpatialIndex* index,
+                  PruneMode mode = PruneMode::Auto) noexcept {
+    index_ = index;
+    prune_mode_ = mode;
+  }
+  [[nodiscard]] const SpatialIndex* spatial_index() const noexcept {
+    return index_;
+  }
+  [[nodiscard]] PruneMode prune_mode() const noexcept { return prune_mode_; }
+
+  /// True when the next full-range scan would take the pruned path
+  /// (index bound, mode permits, env does not veto).
+  [[nodiscard]] bool pruning_enabled() const noexcept;
+
   /// Overrides the kernel table used by this oracle (nullptr restores
   /// the process-wide selection). Test/bench seam for A/B-ing SIMD
   /// levels inside one process; the KC_FORCE_SCALAR environment
@@ -132,21 +169,53 @@ class DistanceOracle {
   /// best[i] = min(best[i], comparable(ids[i], center)) for all i.
   /// This is the workhorse of Gonzalez's algorithm and of the EIM
   /// incremental d(x, S) maintenance. Returns nothing; work counters
-  /// record ids.size() pair evaluations. With a bound armed context,
-  /// throws CancelledError / BudgetExceededError within one gate chunk
-  /// of a stop condition.
+  /// record ids.size() pair evaluations (with a pruned scan, evaluated
+  /// plus pruned pairs sum to that). With a bound armed context, throws
+  /// CancelledError / BudgetExceededError within one gate chunk of a
+  /// stop condition.
+  ///
+  /// `cache` (optional) carries per-cell bounds across a sequence of
+  /// pruned full-range scans that share one best array — see
+  /// PruneCache's lifetime contract. Ignored on the unpruned path.
   void update_nearest(std::span<const index_t> ids, index_t center,
-                      std::span<double> best) const;
+                      std::span<double> best,
+                      PruneCache* cache = nullptr) const;
 
   /// best[i] = min over c in centers of comparable(ids[i], c), folded
   /// into the existing best[i]. Bit-identical to repeated
   /// update_nearest, but tiles centers in blocks of simd::kCenterBlock
   /// so each streaming pass over the points folds several centers per
   /// load of best/ids — ~4x less memory traffic for EIM's select-round
-  /// batches. Context-gated like update_nearest.
+  /// batches. Context-gated like update_nearest, and takes the same
+  /// cell-pruned path on full-range scans (within one call the cell
+  /// bounds tighten block by block, so late center blocks prune against
+  /// the early blocks' results even when best starts at kInfDist).
   void update_nearest_multi(std::span<const index_t> ids,
                             std::span<const index_t> centers,
-                            std::span<double> best) const;
+                            std::span<double> best,
+                            PruneCache* cache = nullptr) const;
+
+  /// True when the cell-order scans below may be called: pruning is
+  /// enabled and the bound index covers this oracle's point set.
+  [[nodiscard]] bool ordered_scans_available() const noexcept;
+
+  /// Cell-order ("ordered") variants of the two scans above, for hot
+  /// loops that keep their whole best array for the full point set:
+  /// element j of `best_ordered` belongs to point spatial_index()->
+  /// order()[j], so every grid cell is a contiguous slice and the
+  /// pruned scan folds kernels straight into it — no per-cell
+  /// gather/scatter of best, which otherwise costs as much as the
+  /// kernels themselves. The folded *values* are bit-identical to what
+  /// update_nearest(all_indices(), ...) leaves at the permuted
+  /// positions; counters and context gating behave identically. Callers
+  /// must check ordered_scans_available() first (throws
+  /// std::logic_error otherwise) and fall back to the id-domain scans —
+  /// that is what keeps KC_FORCE_NO_PRUNE an exact-path switch.
+  void update_nearest_ordered(index_t center, std::span<double> best_ordered,
+                              PruneCache* cache = nullptr) const;
+  void update_nearest_multi_ordered(std::span<const index_t> centers,
+                                    std::span<double> best_ordered,
+                                    PruneCache* cache = nullptr) const;
 
   /// Comparable distance from point `p` to the nearest of `centers`
   /// (kInfDist if centers is empty).
@@ -169,10 +238,29 @@ class DistanceOracle {
     return static_cast<std::size_t>(kind_);
   }
 
+  /// True when this exact scan qualifies for the cell-pruned path:
+  /// pruning enabled and `ids` is the full contiguous index range of
+  /// the indexed PointSet (partial scans keep the unpruned path — the
+  /// index's cell runs only tile the full set).
+  [[nodiscard]] bool prune_applicable(
+      std::span<const index_t> ids) const noexcept;
+
+  /// The cell-pruned scan body shared by update_nearest (one-center
+  /// span), update_nearest_multi and their ordered variants. With
+  /// `ordered`, `best` is in index order and folded in place; otherwise
+  /// it is in id order and staged per cell. Charges evaluated and
+  /// pruned pairs to the calling thread's counters from what actually
+  /// ran.
+  void pruned_scan(std::span<const index_t> centers, std::span<double> best,
+                   PruneCache* cache, bool ordered,
+                   std::string_view where) const;
+
   const PointSet* points_;
   MetricKind kind_;
   exec::ExecutionBackend* exec_ = nullptr;        ///< not owned; may be null
   const exec::ChunkContext* ctx_ = nullptr;       ///< not owned; may be null
+  const SpatialIndex* index_ = nullptr;           ///< not owned; may be null
+  PruneMode prune_mode_ = PruneMode::Auto;
   std::size_t shard_min_ = kShardMinItems;
   /// Active kernel table; never null (defaults to the process-wide
   /// runtime-dispatched selection).

@@ -223,6 +223,65 @@ struct SimdKernels {
   // the result is bit-identical to ncenters sequential passes while the
   // points and best[] stream through memory only once.
 
+  /// Masked tail of nearest_multi_contig: the last r (< W) rows fold
+  /// the whole center block in the low r lanes, mirroring the main
+  /// loop's per-center accumulate / min sequence exactly. Inactive
+  /// lanes compute on zeros and are neither loaded nor stored.
+  static void tail_multi_contig(const double* rows, std::size_t dim,
+                                std::size_t r, const double* const* centers,
+                                std::size_t ncenters, double* best)
+    requires HasMaskedTail<V>
+  {
+    const auto m = V::tail_mask(r);
+    reg b = V::maskz_loadu(m, best);
+    if (dim == 2) {
+      reg x, y;
+      V::maskz_deinterleave2(rows, r, x, y);
+      for (std::size_t c = 0; c < ncenters; ++c) {
+        const reg acc =
+            accum(accum(V::zero(), V::sub(x, V::set1(centers[c][0]))),
+                  V::sub(y, V::set1(centers[c][1])));
+        b = V::vmin(acc, b);
+      }
+    } else {
+      reg acc[kCenterBlock];
+      for (std::size_t c = 0; c < ncenters; ++c) acc[c] = V::zero();
+      for (std::size_t d = 0; d < dim; ++d) {
+        const reg x = V::maskz_load_strided(rows + d, dim, r);
+        for (std::size_t c = 0; c < ncenters; ++c) {
+          acc[c] = accum(acc[c], V::sub(x, V::set1(centers[c][d])));
+        }
+      }
+      for (std::size_t c = 0; c < ncenters; ++c) b = V::vmin(acc[c], b);
+    }
+    V::mask_storeu(best, m, b);
+  }
+
+  /// Masked tail of nearest_multi_gather; `ids` holds the r remaining ids.
+  static void tail_multi_gather(const double* coords, std::size_t dim,
+                                const index_t* ids, std::size_t r,
+                                const double* const* centers,
+                                std::size_t ncenters, double* best)
+    requires HasMaskedTail<V>
+  {
+    const double* rows[W];
+    for (std::size_t j = 0; j < r; ++j) {
+      rows[j] = coords + static_cast<std::size_t>(ids[j]) * dim;
+    }
+    const auto m = V::tail_mask(r);
+    reg acc[kCenterBlock];
+    for (std::size_t c = 0; c < ncenters; ++c) acc[c] = V::zero();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const reg x = V::maskz_load_rows(rows, d, r);
+      for (std::size_t c = 0; c < ncenters; ++c) {
+        acc[c] = accum(acc[c], V::sub(x, V::set1(centers[c][d])));
+      }
+    }
+    reg b = V::maskz_loadu(m, best);
+    for (std::size_t c = 0; c < ncenters; ++c) b = V::vmin(acc[c], b);
+    V::mask_storeu(best, m, b);
+  }
+
   static void nearest_multi_contig(const double* rows, std::size_t dim,
                                    std::size_t n, const double* const* centers,
                                    std::size_t ncenters, double* best) {
@@ -261,8 +320,13 @@ struct SimdKernels {
       }
     }
     if (i < n) {
-      scalar::nearest_multi_contig(rows + dim * i, dim, n - i, centers,
-                                   ncenters, best + i, kPair);
+      if constexpr (HasMaskedTail<V>) {
+        tail_multi_contig(rows + dim * i, dim, n - i, centers, ncenters,
+                          best + i);
+      } else {
+        scalar::nearest_multi_contig(rows + dim * i, dim, n - i, centers,
+                                     ncenters, best + i, kPair);
+      }
     }
   }
 
@@ -289,8 +353,13 @@ struct SimdKernels {
       V::storeu(best + i, b);
     }
     if (i < n) {
-      scalar::nearest_multi_gather(coords, dim, ids + i, n - i, centers,
-                                   ncenters, best + i, kPair);
+      if constexpr (HasMaskedTail<V>) {
+        tail_multi_gather(coords, dim, ids + i, n - i, centers, ncenters,
+                          best + i);
+      } else {
+        scalar::nearest_multi_gather(coords, dim, ids + i, n - i, centers,
+                                     ncenters, best + i, kPair);
+      }
     }
   }
 };

@@ -1,0 +1,229 @@
+#include "geom/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+namespace kc {
+
+std::int64_t grid_coord(double x, double w) noexcept {
+  return static_cast<std::int64_t>(
+      std::clamp(std::floor(x / w), -kGridCoordClamp, kGridCoordClamp));
+}
+
+void grid_cell_key(std::span<const double> p, double w,
+                   std::span<std::int64_t> key) noexcept {
+  for (std::size_t c = 0; c < p.size(); ++c) key[c] = grid_coord(p[c], w);
+}
+
+bool force_no_prune_requested() noexcept {
+  static const bool forced = [] {
+    const char* env = std::getenv("KC_FORCE_NO_PRUNE");
+    return env != nullptr && std::string_view{env} != "0";
+  }();
+  return forced;
+}
+
+namespace {
+
+/// Average points-per-occupied-cell the width tuner aims for. Low
+/// enough that a cell is a meaningful prune unit, high enough that the
+/// per-cell bound test, bound refresh, and kernel-call overhead
+/// amortize over a cache-friendly contiguous run — measured on the
+/// pruned-scan matrix, fine grids (occupancy ~30) lose more to those
+/// fixed costs than the extra pruning wins.
+constexpr std::size_t kTargetOccupancy = 1024;
+
+/// Floor on average occupancy enforced by the doubling loop: more than
+/// n / kMinOccupancy occupied cells means cells are too fine to pay for
+/// their bound tests, so the width doubles until they merge.
+constexpr std::size_t kMinOccupancy = 16;
+
+/// Linf data radius seen from the first point — one uncounted scalar
+/// pass, the same probe shape GON's first round performs. Any metric
+/// would do for tuning a cell width; Linf is the cheapest and matches
+/// the grid's axis-aligned geometry.
+double probe_radius(const PointSet& pts) noexcept {
+  const std::size_t n = pts.size();
+  const std::size_t dim = pts.dim();
+  const double* origin = pts.data(0);
+  const double* row = pts.raw().data();
+  double r = 0.0;
+  for (std::size_t i = 0; i < n; ++i, row += dim) {
+    double d = 0.0;
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double g = std::fabs(row[c] - origin[c]);
+      if (g > d) d = g;
+    }
+    if (d > r) r = d;
+  }
+  return r;
+}
+
+}  // namespace
+
+SpatialIndex::SpatialIndex(const PointSet& points)
+    : points_(&points), dim_(points.dim()) {
+  const std::size_t n = points.size();
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), index_t{0});
+  cell_of_.assign(n, 0);
+  if (n == 0 || dim_ == 0) {
+    cell_begin_ = {0, n};
+    if (n > 0) {
+      rows_.assign(points.raw().begin(), points.raw().end());
+    }
+    return;
+  }
+
+  // Initial width: carve the probe diameter so a uniform spread lands
+  // near kTargetOccupancy points per cell. Degenerate spreads (all
+  // points equal) collapse to one cell at unit width.
+  const double radius = probe_radius(points);
+  double width = 1.0;
+  if (radius > 0.0) {
+    const double target_cells =
+        std::max(1.0, static_cast<double>(n) /
+                          static_cast<double>(kTargetOccupancy));
+    const double per_axis = std::clamp(
+        std::ceil(std::pow(target_cells, 1.0 / static_cast<double>(dim_))),
+        1.0, 4096.0);
+    width = 2.0 * radius / per_axis;
+  }
+
+  std::vector<std::int64_t> keys(n * dim_);
+  const std::size_t cell_cap = std::max<std::size_t>(1, n / kMinOccupancy);
+  const auto regrid = [&](double w) -> std::size_t {
+    for (std::size_t i = 0; i < n; ++i) {
+      grid_cell_key(points[static_cast<index_t>(i)], w,
+                    {keys.data() + i * dim_, dim_});
+    }
+    std::sort(order_.begin(), order_.end(), [&](index_t a, index_t b) {
+      const std::int64_t* ka = keys.data() + std::size_t{a} * dim_;
+      const std::int64_t* kb = keys.data() + std::size_t{b} * dim_;
+      for (std::size_t c = 0; c < dim_; ++c) {
+        if (ka[c] != kb[c]) return ka[c] < kb[c];
+      }
+      return a < b;  // ascending ids within a cell, for determinism
+    });
+    std::size_t occupied = 1;
+    for (std::size_t j = 1; j < n; ++j) {
+      const std::int64_t* ka = keys.data() + std::size_t{order_[j - 1]} * dim_;
+      const std::int64_t* kb = keys.data() + std::size_t{order_[j]} * dim_;
+      if (!std::equal(ka, ka + dim_, kb)) ++occupied;
+    }
+    return occupied;
+  };
+
+  // Coarsen first: too many occupied cells means the bound tests cannot
+  // amortize, so double until they merge under the cap.
+  std::size_t occupied = regrid(width);
+  int attempts = 0;
+  while (occupied > cell_cap && attempts++ < 200) {
+    width *= 2.0;
+    occupied = regrid(width);
+  }
+  // Then refine: the initial width assumes a uniform spread, so tightly
+  // clustered data (the paper's GAU shapes) lands orders of magnitude
+  // too coarse — whole clusters collapse into single cells and the
+  // bounds prune nothing inside them. Halve while the halving actually
+  // splits cells (duplicate-heavy data stops making progress) and the
+  // count stays under the cap.
+  while (attempts++ < 200 && occupied * kTargetOccupancy < n) {
+    const double half = width / 2.0;
+    if (!(half > 0.0) || !std::isfinite(half)) break;
+    const std::size_t split = regrid(half);
+    if (split > cell_cap || split <= occupied) {
+      occupied = regrid(width);  // re-derive keys/order for the kept width
+      break;
+    }
+    width = half;
+    occupied = split;
+  }
+  width_ = width;
+
+  // Group the sorted order into cells, copy rows into the permuted
+  // 64B-aligned layout, and take exact member bounding boxes.
+  cell_begin_.clear();
+  cell_begin_.reserve(occupied + 1);
+  rows_.resize(n * dim_);
+  bbox_.assign(2 * occupied * dim_, 0.0);
+  std::size_t cell = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const index_t id = order_[j];
+    const double* src = points.data(id);
+    double* lo = bbox_.data() + 2 * cell * dim_;
+    double* hi = lo + dim_;
+    const bool opens_cell =
+        j == 0 ||
+        !std::equal(keys.data() + std::size_t{order_[j - 1]} * dim_,
+                    keys.data() + std::size_t{order_[j - 1]} * dim_ + dim_,
+                    keys.data() + std::size_t{id} * dim_);
+    if (opens_cell) {
+      if (j != 0) ++cell;
+      lo = bbox_.data() + 2 * cell * dim_;
+      hi = lo + dim_;
+      cell_begin_.push_back(j);
+      std::copy(src, src + dim_, lo);
+      std::copy(src, src + dim_, hi);
+    } else {
+      for (std::size_t c = 0; c < dim_; ++c) {
+        lo[c] = std::min(lo[c], src[c]);
+        hi[c] = std::max(hi[c], src[c]);
+      }
+    }
+    cell_of_[id] = static_cast<std::uint32_t>(cell);
+    std::copy(src, src + dim_, rows_.data() + j * dim_);
+  }
+  cell_begin_.push_back(n);
+}
+
+double SpatialIndex::cell_mindist_comparable(MetricKind kind,
+                                             const double* center,
+                                             std::size_t c) const noexcept {
+  const double* lo = cell_lo(c);
+  const double* hi = cell_hi(c);
+  // Per coordinate, the gap from the center to the box interval, folded
+  // exactly like the scalar kernels fold their per-coordinate diffs
+  // (sequential coordinate order, same square/abs/max shape). For any
+  // member p, lo[d] <= p[d] <= hi[d], so the rounded gap is dominated
+  // coordinate-wise by the kernel's rounded |p[d] - center[d]|, and the
+  // identical monotone fold keeps the domination through rounding —
+  // the returned bound never exceeds any member's kernel distance.
+  switch (kind) {
+    case MetricKind::L2: {
+      double acc = 0.0;
+      for (std::size_t d = 0; d < dim_; ++d) {
+        const double g = center[d] < lo[d]   ? lo[d] - center[d]
+                         : center[d] > hi[d] ? center[d] - hi[d]
+                                             : 0.0;
+        acc += g * g;
+      }
+      return acc;
+    }
+    case MetricKind::L1: {
+      double acc = 0.0;
+      for (std::size_t d = 0; d < dim_; ++d) {
+        const double g = center[d] < lo[d]   ? lo[d] - center[d]
+                         : center[d] > hi[d] ? center[d] - hi[d]
+                                             : 0.0;
+        acc += g;
+      }
+      return acc;
+    }
+    case MetricKind::Linf: {
+      double acc = 0.0;
+      for (std::size_t d = 0; d < dim_; ++d) {
+        const double g = center[d] < lo[d]   ? lo[d] - center[d]
+                         : center[d] > hi[d] ? center[d] - hi[d]
+                                             : 0.0;
+        if (g > acc) acc = g;
+      }
+      return acc;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace kc

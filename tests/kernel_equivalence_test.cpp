@@ -203,6 +203,66 @@ TEST_P(KernelEquivalence, RaggedTailsExactBufferEndAndNoOverstore) {
   }
 }
 
+// Same exact-buffer-end contract for the center-blocked multi kernels,
+// whose ragged tails are also lane-masked on AVX-512: every remainder
+// 1..W-1, every block size 1..kCenterBlock, scan ending flush with the
+// coordinate allocation, guards after best[n) untouched.
+TEST_P(KernelEquivalence, RaggedTailsMultiExactBufferEndAndNoOverstore) {
+  const auto levels = simd_levels_available();
+  if (levels.empty()) GTEST_SKIP() << "no SIMD kernels on this host";
+  const KernelTable* scalar = simd::kernels_for(IsaLevel::Scalar);
+  const auto m = static_cast<std::size_t>(GetParam());
+  constexpr double kGuard = -1234.5;
+
+  Rng rng(181);
+  for (std::size_t dim = 1; dim <= 9; ++dim) {
+    for (std::size_t nc = 1; nc <= simd::kCenterBlock; ++nc) {
+      std::vector<std::vector<double>> centers(nc);
+      std::vector<const double*> cptr(nc);
+      for (std::size_t c = 0; c < nc; ++c) {
+        centers[c] = random_coords(dim, rng);
+        cptr[c] = centers[c].data();
+      }
+      for (std::size_t n = 1; n <= 17; ++n) {
+        // Coordinates sized exactly n rows — no slack for an over-read.
+        const auto coords = random_coords(n * dim, rng);
+        std::vector<index_t> ids(n);
+        for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<index_t>(i);
+        const auto init = random_best(n, rng);
+
+        std::vector<double> want = init;
+        scalar->nearest_multi_contig[m](coords.data(), dim, n, cptr.data(),
+                                        nc, want.data());
+        for (const IsaLevel level : levels) {
+          const KernelTable* table = simd::kernels_for(level);
+          SCOPED_TRACE(std::string(table->name) + " dim=" +
+                       std::to_string(dim) + " nc=" + std::to_string(nc) +
+                       " n=" + std::to_string(n));
+          std::vector<double> got(init);
+          got.resize(n + 8, kGuard);
+          table->nearest_multi_contig[m](coords.data(), dim, n, cptr.data(),
+                                         nc, got.data());
+          for (std::size_t i = n; i < got.size(); ++i) {
+            EXPECT_EQ(got[i], kGuard) << "overstore at " << i;
+          }
+          got.resize(n);
+          expect_bit_identical(got, want);
+
+          got = init;
+          got.resize(n + 8, kGuard);
+          table->nearest_multi_gather[m](coords.data(), dim, ids.data(), n,
+                                         cptr.data(), nc, got.data());
+          for (std::size_t i = n; i < got.size(); ++i) {
+            EXPECT_EQ(got[i], kGuard) << "overstore at " << i;
+          }
+          got.resize(n);
+          expect_bit_identical(got, want);
+        }
+      }
+    }
+  }
+}
+
 TEST_P(KernelEquivalence, BlockedMultiMatchesRepeatedSingleCenterPasses) {
   const auto levels = simd_levels_available();
   if (levels.empty()) GTEST_SKIP() << "no SIMD kernels on this host";
