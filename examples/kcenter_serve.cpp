@@ -22,6 +22,16 @@
 //   --tenant-budget=N   per-tenant distance-eval budget (0 = unlimited)
 //   --request-budget=N  default per-request eval cap (0 = uncapped)
 //   --deadline-ms=N     default per-request deadline (0 = none)
+//   --retries=N         retry transient internal failures up to N
+//                       times per request (default 0)
+//   --watchdog-ms=N     cancel requests whose budget odometer stalls
+//                       for N ms (default 0 = off)
+//   --degrade-watermark=X  queue fill fraction (<= 1.0) above which
+//                       requests run degraded (cheaper algorithm,
+//                       shrunk budget, forced pruning); default off
+//   --fault-plan=SPEC   arm the deterministic fault-injection plan
+//                       (grammar in src/fault/fault.hpp; defaults to
+//                       the KC_FAULT_PLAN environment variable)
 //   --stable            omit machine-dependent report fields, for
 //                       cross-host diffing (CI smoke leg)
 //   --list-algos        print the algorithm registry and exit
@@ -30,6 +40,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -44,6 +55,7 @@
 
 #include "cli/algos.hpp"
 #include "cli/args.hpp"
+#include "fault/fault.hpp"
 #include "svc/service.hpp"
 
 namespace {
@@ -137,8 +149,27 @@ class SocketSink {
     std::string framed = line + "\n";
     std::size_t sent = 0;
     while (sent < framed.size()) {
-      const ssize_t wrote =
-          ::write(fd_, framed.data() + sent, framed.size() - sent);
+      // Injection sites exercising the three ways a socket write goes
+      // wrong. They model the syscall outcome *without* corrupting the
+      // framing invariant this loop exists for: EINTR retries, a short
+      // write continues from `sent`, a reset abandons the whole line
+      // (the peer is gone; partial bytes on a dead socket are moot).
+      if (kc::fault::armed()) {
+        if (kc::fault::hit("svc.emit.eintr").action ==
+            kc::fault::Action::Fail) {
+          continue;  // simulated EINTR: loop and retry the write
+        }
+        if (kc::fault::hit("svc.emit.write").action ==
+            kc::fault::Action::Fail) {
+          return;  // simulated ECONNRESET: dead peer, abandon the line
+        }
+      }
+      std::size_t want = framed.size() - sent;
+      if (want > 1 && kc::fault::armed() &&
+          kc::fault::hit("svc.emit.short").action == kc::fault::Action::Fail) {
+        want = (want + 1) / 2;  // simulated short write
+      }
+      const ssize_t wrote = ::write(fd_, framed.data() + sent, want);
       if (wrote > 0) {
         sent += static_cast<std::size_t>(wrote);
         continue;
@@ -243,6 +274,13 @@ int run_socket(const ServeOptions& options) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
+    if (kc::fault::armed() &&
+        kc::fault::hit("serve.accept").action == kc::fault::Action::Fail) {
+      // Simulated ECONNABORTED: the connection died between accept and
+      // service. Drop it and keep serving — never the listener.
+      ::close(fd);
+      continue;
+    }
     reap(/*all=*/false);
     auto sink = std::make_shared<SocketSink>(fd);
     auto done = std::make_shared<std::atomic<bool>>(false);
@@ -311,6 +349,18 @@ int main(int argc, char** argv) {
     options.config.tenant_budget = args.size("tenant-budget", 0);
     options.config.request_budget = args.size("request-budget", 0);
     options.config.default_deadline_ms = args.size("deadline-ms", 0);
+    options.config.retry.max_attempts =
+        1 + static_cast<int>(args.integer("retries", 0));
+    options.config.watchdog_ms = args.size("watchdog-ms", 0);
+    options.config.degrade.high_watermark =
+        args.real("degrade-watermark", options.config.degrade.high_watermark);
+    // The flag wins; otherwise the environment arms the plan (parsed by
+    // the ServiceLoop, so a malformed spec fails fast right here).
+    if (const auto plan = args.str("fault-plan")) {
+      options.config.fault_plan = *plan;
+    } else if (const char* env = std::getenv("KC_FAULT_PLAN")) {
+      options.config.fault_plan = env;
+    }
     options.config.style.stable = args.flag("stable");
     options.socket_path = args.str("socket").value_or("");
     kc::cli::reject_unknown_flags(args);

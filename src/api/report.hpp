@@ -50,6 +50,15 @@ struct SolveReport {
   std::uint64_t budget_consumed = 0;
   mr::JobTrace trace;                 ///< per-round detail (empty for GON/HS)
 
+  // ---- Resilience facts (set by retrying front-ends, e.g. the
+  // service loop; a direct Solver::solve leaves the defaults).
+  /// Solve attempts this report took (1 = first try succeeded).
+  int attempts = 1;
+  /// True when the request ran under a degraded policy (shrunk budget,
+  /// cheaper algorithm, forced pruning) because the service was above
+  /// its queue high-watermark.
+  bool degraded = false;
+
   // ---- Timings and execution facts.
   /// Simulated parallel time: sum over rounds of the max per-machine
   /// thread-CPU time (== wall for sequential algorithms).

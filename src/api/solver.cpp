@@ -164,6 +164,10 @@ SolveReport Solver::solve(const SolveRequest& request) {
   if (info.uses_cluster) {
     cluster.emplace(request.exec.machines, /*capacity_items=*/0,
                     context.backend);
+    // Machine-failure injection is keyed per request: same request
+    // seed + same FaultPlan seed => the same machines die, on every
+    // backend (see SimCluster::set_fault_scope).
+    cluster->set_fault_scope(request.seed);
     context.cluster = &*cluster;
   }
 

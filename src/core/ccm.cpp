@@ -96,7 +96,7 @@ CcmResult ccm(const DistanceOracle& oracle, std::span<const index_t> pts,
   check_cancelled(options, "ccm-estimate");
   std::vector<std::vector<index_t>> local_centers(parts.size());
   std::vector<double> local_radius(parts.size(), 0.0);
-  auto& estimate_round = cluster.run_indexed_round(
+  auto& estimate_round = cluster.run_indexed_round_retrying(
       "ccm-estimate", static_cast<int>(parts.size()),
       [&](int machine) {
         const auto& part = parts[static_cast<std::size_t>(machine)];
@@ -135,7 +135,7 @@ CcmResult ccm(const DistanceOracle& oracle, std::span<const index_t> pts,
         options.epsilon * r_hat / (2.0 * metric_norm(oracle.kind(), oracle.dim()));
     std::vector<std::vector<index_t>> emitted(parts.size());
     std::vector<double> widths(parts.size(), width);
-    auto& grid_round = cluster.run_indexed_round(
+    auto& grid_round = cluster.run_indexed_round_retrying(
         "ccm-grid", static_cast<int>(parts.size()),
         [&](int machine) {
           const std::size_t i = static_cast<std::size_t>(machine);
@@ -169,7 +169,7 @@ CcmResult ccm(const DistanceOracle& oracle, std::span<const index_t> pts,
   check_cancelled(options, "ccm-final");
   cluster.check_capacity(coreset.size(), "ccm-final");
   KCenterResult final_result;
-  auto& final_round = cluster.run_indexed_round(
+  auto& final_round = cluster.run_indexed_round_retrying(
       "ccm-final", 1,
       [&](int) {
         final_result =

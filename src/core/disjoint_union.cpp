@@ -67,7 +67,7 @@ DisjointUnionResult mrg_disjoint_union(const DistanceOracle& oracle,
 
   // Final sequential pass over the union of chunk solutions.
   KCenterResult final_result;
-  auto& union_round = cluster.run_indexed_round(
+  auto& union_round = cluster.run_indexed_round_retrying(
       "union-final", 1,
       [&](int) {
         final_result = run_sequential(options.mrg.final_algo, oracle,

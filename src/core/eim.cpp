@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "rng/rng.hpp"
@@ -47,6 +49,30 @@ void check_cancelled(const EimOptions& options, int iterations_done) {
     throw CancelledError("eim: cancelled after " +
                          std::to_string(iterations_done) + " iteration(s)");
   }
+}
+
+/// Runs one logical round, re-running it on the survivors whenever the
+/// cluster loses machines (mr::MachineFailure). `attempt` receives the
+/// machine count to use and must rebuild its chunking/output buffers —
+/// round bodies are written to be idempotent (min-folds, buffers
+/// reassigned per attempt), so a re-run over already-touched state is
+/// safe. Attempt 0 with the full machine count is byte-identical to
+/// the pre-fault code path.
+mr::RoundStats& run_round_with_retry(
+    std::string_view name, std::size_t machines,
+    const std::function<mr::RoundStats&(std::size_t)>& attempt) {
+  std::size_t machines_now = machines;
+  for (int a = 0; a < mr::kMaxRoundAttempts; ++a) {
+    try {
+      return attempt(machines_now);
+    } catch (const mr::MachineFailure& failure) {
+      machines_now = std::min(machines_now,
+                              static_cast<std::size_t>(failure.survivors()));
+    }
+  }
+  throw std::runtime_error("eim: round '" + std::string(name) + "' failed " +
+                           std::to_string(mr::kMaxRoundAttempts) +
+                           " attempts (machine loss)");
 }
 
 /// Splits [0, n) into at most `machines` near-equal contiguous ranges.
@@ -98,13 +124,16 @@ EimResult eim(const DistanceOracle& oracle, std::span<const index_t> pts,
   if (static_cast<double>(n) <= loop_threshold || loop_threshold <= 0.0) {
     check_cancelled(options, 0);
     KCenterResult final_result;
-    auto& round = cluster.run_indexed_round(
-        "eim-final(degenerate)", 1,
-        [&](int) {
-          final_result = run_sequential(options.final_algo, oracle, pts, k,
-                                        rng.split(0)());
-        },
-        result.trace);
+    auto& round = run_round_with_retry(
+        "eim-final(degenerate)", 1, [&](std::size_t) -> mr::RoundStats& {
+          return cluster.run_indexed_round(
+              "eim-final(degenerate)", 1,
+              [&](int) {
+                final_result = run_sequential(options.final_algo, oracle, pts,
+                                              k, rng.split(0)());
+              },
+              result.trace);
+        });
     round.items_in = n;
     round.items_out = final_result.centers.size();
     round.shuffle_items = n;
@@ -137,27 +166,35 @@ EimResult eim(const DistanceOracle& oracle, std::span<const index_t> pts,
 
     // ---- Round 1 (Algorithm 2, lines 3-4): per-machine Bernoulli
     // sampling of the new S members and the pivot-candidate set H.
-    const auto chunks = make_chunks(r_set.size(), m);
-    std::vector<std::vector<index_t>> sampled_parts(chunks.size());
-    std::vector<std::vector<index_t>> pivot_parts(chunks.size());
-    auto& sample_round = cluster.run_indexed_round(
-        "eim-sample", static_cast<int>(chunks.size()),
-        [&](int machine) {
-          const auto [lo, hi] = chunks[static_cast<std::size_t>(machine)];
-          Rng machine_rng = Rng(options.seed)
-                                .split((static_cast<std::uint64_t>(
-                                            result.iterations)
-                                        << 32) |
-                                       static_cast<std::uint64_t>(machine));
-          auto& sampled = sampled_parts[static_cast<std::size_t>(machine)];
-          auto& pivots = pivot_parts[static_cast<std::size_t>(machine)];
-          for (std::size_t i = lo; i < hi; ++i) {
-            const index_t p = r_set[i];
-            if (machine_rng.bernoulli(p_sample)) sampled.push_back(p);
-            if (machine_rng.bernoulli(p_pivot)) pivots.push_back(p);
-          }
-        },
-        result.trace);
+    std::vector<Chunk> chunks;
+    std::vector<std::vector<index_t>> sampled_parts;
+    std::vector<std::vector<index_t>> pivot_parts;
+    auto& sample_round = run_round_with_retry(
+        "eim-sample", m, [&](std::size_t machines_now) -> mr::RoundStats& {
+          chunks = make_chunks(r_set.size(), machines_now);
+          sampled_parts.assign(chunks.size(), {});
+          pivot_parts.assign(chunks.size(), {});
+          return cluster.run_indexed_round(
+              "eim-sample", static_cast<int>(chunks.size()),
+              [&](int machine) {
+                const auto [lo, hi] =
+                    chunks[static_cast<std::size_t>(machine)];
+                Rng machine_rng =
+                    Rng(options.seed)
+                        .split((static_cast<std::uint64_t>(result.iterations)
+                                << 32) |
+                               static_cast<std::uint64_t>(machine));
+                auto& sampled =
+                    sampled_parts[static_cast<std::size_t>(machine)];
+                auto& pivots = pivot_parts[static_cast<std::size_t>(machine)];
+                for (std::size_t i = lo; i < hi; ++i) {
+                  const index_t p = r_set[i];
+                  if (machine_rng.bernoulli(p_sample)) sampled.push_back(p);
+                  if (machine_rng.bernoulli(p_pivot)) pivots.push_back(p);
+                }
+              },
+              result.trace);
+        });
 
     std::vector<index_t> delta_positions;  // new S members (local positions)
     std::vector<index_t> pivot_positions;  // H (local positions)
@@ -186,26 +223,29 @@ EimResult eim(const DistanceOracle& oracle, std::span<const index_t> pts,
     // folds them in center-blocked groups of simd::kCenterBlock per
     // streaming pass over H.
     double removal_threshold = -kInfDist;
-    auto& select_round = cluster.run_indexed_round(
-        "eim-select", 1,
-        [&](int) {
-          if (pivot_positions.empty()) return;
-          std::vector<index_t> h_global(pivot_positions.size());
-          std::vector<double> h_best(pivot_positions.size());
-          for (std::size_t i = 0; i < pivot_positions.size(); ++i) {
-            h_global[i] = pts[pivot_positions[i]];
-            h_best[i] = dist_to_sample[pivot_positions[i]];
-          }
-          oracle.update_nearest_multi(h_global, delta_global, h_best);
-          for (std::size_t i = 0; i < pivot_positions.size(); ++i) {
-            dist_to_sample[pivot_positions[i]] = h_best[i];
-          }
-          std::sort(h_best.begin(), h_best.end(), std::greater<>());
-          const auto rank = static_cast<std::size_t>(
-              std::max<long long>(1, std::llround(options.phi * log_n)));
-          removal_threshold = h_best[std::min(rank, h_best.size()) - 1];
-        },
-        result.trace);
+    auto& select_round = run_round_with_retry(
+        "eim-select", 1, [&](std::size_t) -> mr::RoundStats& {
+          return cluster.run_indexed_round(
+              "eim-select", 1,
+              [&](int) {
+                if (pivot_positions.empty()) return;
+                std::vector<index_t> h_global(pivot_positions.size());
+                std::vector<double> h_best(pivot_positions.size());
+                for (std::size_t i = 0; i < pivot_positions.size(); ++i) {
+                  h_global[i] = pts[pivot_positions[i]];
+                  h_best[i] = dist_to_sample[pivot_positions[i]];
+                }
+                oracle.update_nearest_multi(h_global, delta_global, h_best);
+                for (std::size_t i = 0; i < pivot_positions.size(); ++i) {
+                  dist_to_sample[pivot_positions[i]] = h_best[i];
+                }
+                std::sort(h_best.begin(), h_best.end(), std::greater<>());
+                const auto rank = static_cast<std::size_t>(
+                    std::max<long long>(1, std::llround(options.phi * log_n)));
+                removal_threshold = h_best[std::min(rank, h_best.size()) - 1];
+              },
+              result.trace);
+        });
     select_round.items_in = pivot_positions.size() + sample_global.size();
     select_round.items_out = 1;
     select_round.shuffle_items = pivot_positions.size() + sample_global.size();
@@ -215,31 +255,47 @@ EimResult eim(const DistanceOracle& oracle, std::span<const index_t> pts,
     // that are now represented at least as well as the pivot. Sampled
     // points always leave R (the §4.1 termination fix); the `<=`
     // comparison removes distance ties (the other §4.1 fix).
-    std::vector<std::vector<index_t>> survivor_parts(chunks.size());
-    auto& prune_round = cluster.run_indexed_round(
-        "eim-prune", static_cast<int>(chunks.size()),
-        [&](int machine) {
-          const auto [lo, hi] = chunks[static_cast<std::size_t>(machine)];
-          const std::size_t len = hi - lo;
-          std::vector<index_t> chunk_global(len);
-          std::vector<double> chunk_best(len);
-          for (std::size_t i = 0; i < len; ++i) {
-            chunk_global[i] = pts[r_set[lo + i]];
-            chunk_best[i] = dist_to_sample[r_set[lo + i]];
+    std::vector<std::vector<index_t>> survivor_parts;
+    auto& prune_round = run_round_with_retry(
+        "eim-prune", chunks.size(),
+        [&](std::size_t machines_now) -> mr::RoundStats& {
+          // A retry re-chunks R over the survivors; the per-point
+          // min-fold of dist_to_sample is idempotent, so chunks that
+          // already ran just fold in no-ops.
+          if (machines_now != chunks.size()) {
+            chunks = make_chunks(r_set.size(), machines_now);
           }
-          oracle.update_nearest_multi(chunk_global, delta_global, chunk_best);
-          auto& survivors = survivor_parts[static_cast<std::size_t>(machine)];
-          for (std::size_t i = 0; i < len; ++i) {
-            const index_t p = r_set[lo + i];
-            dist_to_sample[p] = chunk_best[i];
-            const bool pruned = options.tie_breaking_removal
-                                    ? chunk_best[i] <= removal_threshold
-                                    : chunk_best[i] < removal_threshold;
-            if (pruned || (options.remove_sampled && in_sample[p])) continue;
-            survivors.push_back(p);
-          }
-        },
-        result.trace);
+          survivor_parts.assign(chunks.size(), {});
+          return cluster.run_indexed_round(
+              "eim-prune", static_cast<int>(chunks.size()),
+              [&](int machine) {
+                const auto [lo, hi] =
+                    chunks[static_cast<std::size_t>(machine)];
+                const std::size_t len = hi - lo;
+                std::vector<index_t> chunk_global(len);
+                std::vector<double> chunk_best(len);
+                for (std::size_t i = 0; i < len; ++i) {
+                  chunk_global[i] = pts[r_set[lo + i]];
+                  chunk_best[i] = dist_to_sample[r_set[lo + i]];
+                }
+                oracle.update_nearest_multi(chunk_global, delta_global,
+                                            chunk_best);
+                auto& survivors =
+                    survivor_parts[static_cast<std::size_t>(machine)];
+                for (std::size_t i = 0; i < len; ++i) {
+                  const index_t p = r_set[lo + i];
+                  dist_to_sample[p] = chunk_best[i];
+                  const bool pruned = options.tie_breaking_removal
+                                          ? chunk_best[i] <= removal_threshold
+                                          : chunk_best[i] < removal_threshold;
+                  if (pruned || (options.remove_sampled && in_sample[p])) {
+                    continue;
+                  }
+                  survivors.push_back(p);
+                }
+              },
+              result.trace);
+        });
 
     std::vector<index_t> next_r;
     for (const auto& part : survivor_parts) {
@@ -267,13 +323,16 @@ EimResult eim(const DistanceOracle& oracle, std::span<const index_t> pts,
   for (const index_t p : r_set) final_set.push_back(pts[p]);
 
   KCenterResult final_result;
-  auto& final_round = cluster.run_indexed_round(
-      "eim-final", 1,
-      [&](int) {
-        final_result = run_sequential(options.final_algo, oracle, final_set, k,
-                                      rng.split(~0ull)());
-      },
-      result.trace);
+  auto& final_round = run_round_with_retry(
+      "eim-final", 1, [&](std::size_t) -> mr::RoundStats& {
+        return cluster.run_indexed_round(
+            "eim-final", 1,
+            [&](int) {
+              final_result = run_sequential(options.final_algo, oracle,
+                                            final_set, k, rng.split(~0ull)());
+            },
+            result.trace);
+      });
   final_round.items_in = final_set.size();
   final_round.items_out = final_result.centers.size();
   final_round.shuffle_items = final_set.size();

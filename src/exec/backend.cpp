@@ -5,6 +5,8 @@
 #include <exception>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 #ifdef KC_HAVE_OPENMP
 #include <omp.h>
 #endif
@@ -54,6 +56,7 @@ void SequentialBackend::run_tasks(std::span<const Task> tasks) {
   std::exception_ptr error;
   for (const Task& task : tasks) {
     try {
+      fault::point("exec.task.run");
       task();
     } catch (...) {
       if (!error) error = std::current_exception();
@@ -89,6 +92,7 @@ void OpenMPBackend::run_tasks(std::span<const Task> tasks) {
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads_)
   for (std::int64_t t = 0; t < count; ++t) {
     try {
+      fault::point("exec.task.run");
       tasks[static_cast<std::size_t>(t)]();
     } catch (...) {
       // Exceptions must not escape a parallel region (UB); capture the

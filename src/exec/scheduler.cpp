@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "fault/fault.hpp"
+
 namespace kc::exec {
 
 namespace {
@@ -435,6 +437,7 @@ void Scheduler::execute(detail::TaskNode* node, int slot,
   detail::GroupCore* group = node->group.load(std::memory_order_relaxed);
   if (batch.group != group) flush_completions(batch);
   try {
+    fault::point("exec.task.run");
     node->run();
   } catch (...) {
     const std::lock_guard<std::mutex> lock(group->mutex);

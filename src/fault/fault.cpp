@@ -1,0 +1,306 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "rng/rng.hpp"
+
+namespace kc::fault {
+
+namespace detail {
+
+/// An armed site: its plan plus live counters. Counters are mutable
+/// atomics so hits from any thread stay race-free.
+struct ArmedSite {
+  SitePlan plan;
+  std::uint64_t site_hash = 0;  ///< splitmix64 of the site name bytes
+  mutable std::atomic<std::uint64_t> hits{0};
+  mutable std::atomic<std::uint64_t> fires{0};
+};
+
+struct ArmedState {
+  std::uint64_t seed = 1;
+  // Sites are few (a plan names a handful); linear scan by name beats a
+  // map for both the lookup cost and the locality of the slow path.
+  std::vector<std::unique_ptr<ArmedSite>> sites;
+
+  [[nodiscard]] const ArmedSite* find(std::string_view site) const noexcept {
+    for (const auto& s : sites) {
+      if (s->plan.site == site) return s.get();
+    }
+    return nullptr;
+  }
+};
+
+std::atomic<const ArmedState*> g_active{nullptr};
+
+namespace {
+
+// Armed states are kept alive until process exit: a hit thread may use
+// a stale g_active pointer for a moment after disarm()/arm(), and an
+// immortal pointee turns that race into a benign "old plan answered"
+// instead of a use-after-free. Plans are tiny and re-armed rarely
+// (tests, process start), so the leak is bounded and deliberate.
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::vector<std::unique_ptr<const ArmedState>>& immortal_states() {
+  static auto* states = new std::vector<std::unique_ptr<const ArmedState>>();
+  return *states;
+}
+
+[[nodiscard]] std::uint64_t hash_site_name(std::string_view site) noexcept {
+  std::uint64_t h = 0x6b636661756c7421ull;  // "kcfault!"
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h = splitmix64_next(h);
+  }
+  return h;
+}
+
+/// Seeded hash decision in [0, 1): depends only on (seed, site, x).
+[[nodiscard]] double u01(std::uint64_t seed, std::uint64_t site_hash,
+                         std::uint64_t x) noexcept {
+  std::uint64_t state = seed ^ site_hash;
+  state ^= splitmix64_next(state) + x;
+  const std::uint64_t bits = splitmix64_next(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Outcome hit_slow(const ArmedState* state, std::string_view site, bool keyed,
+                 std::uint64_t key) noexcept {
+  const ArmedSite* armed = state->find(site);
+  if (armed == nullptr) return {};
+  const SitePlan& plan = armed->plan;
+
+  // Keyed probability hits are decided from the key alone and do not
+  // advance the counter: the outcome for a given key must not depend
+  // on how many other hits raced ahead of this one.
+  bool fire = false;
+  if (keyed && plan.p > 0.0) {
+    fire = u01(state->seed, armed->site_hash, key) < plan.p;
+  } else {
+    const std::uint64_t n =
+        armed->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (plan.nth != 0 && n == plan.nth) fire = true;
+    if (!fire && plan.every != 0 && n % plan.every == 0) fire = true;
+    if (!fire && plan.p > 0.0) {
+      fire = u01(state->seed, armed->site_hash, n) < plan.p;
+    }
+  }
+  if (!fire) return {};
+
+  // times= caps total fires; the cap check must be atomic with the
+  // fire accounting or concurrent hits could both fire past it.
+  std::uint64_t fired = armed->fires.load(std::memory_order_relaxed);
+  do {
+    if (fired >= plan.times) return {};
+  } while (!armed->fires.compare_exchange_weak(fired, fired + 1,
+                                               std::memory_order_relaxed));
+
+  if (plan.stall_ms > 0) return {Action::Stall, plan.stall_ms};
+  return {Action::Fail, 0};
+}
+
+void point_slow(const ArmedState* state, std::string_view site,
+                std::uint64_t* key) {
+  const Outcome outcome = key != nullptr ? hit_slow(state, site, true, *key)
+                                         : hit_slow(state, site, false, 0);
+  switch (outcome.action) {
+    case Action::None:
+      return;
+    case Action::Stall:
+      std::this_thread::sleep_for(std::chrono::milliseconds(outcome.stall_ms));
+      return;
+    case Action::Fail:
+      throw InjectedFault(site);
+  }
+}
+
+}  // namespace detail
+
+void arm(const FaultPlan& plan) {
+  if (plan.empty()) {
+    disarm();
+    return;
+  }
+  auto state = std::make_unique<detail::ArmedState>();
+  state->seed = plan.seed;
+  for (const SitePlan& site : plan.sites) {
+    auto armed = std::make_unique<detail::ArmedSite>();
+    armed->plan = site;
+    armed->site_hash = detail::hash_site_name(site.site);
+    state->sites.push_back(std::move(armed));
+  }
+  const std::lock_guard<std::mutex> lock(detail::registry_mutex());
+  detail::immortal_states().push_back(std::move(state));
+  detail::g_active.store(detail::immortal_states().back().get(),
+                         std::memory_order_release);
+}
+
+void disarm() noexcept {
+  detail::g_active.store(nullptr, std::memory_order_release);
+}
+
+SiteStats stats(std::string_view site) noexcept {
+  const detail::ArmedState* state =
+      detail::g_active.load(std::memory_order_acquire);
+  if (state == nullptr) return {};
+  const detail::ArmedSite* armed = state->find(site);
+  if (armed == nullptr) return {};
+  return {armed->hits.load(std::memory_order_relaxed),
+          armed->fires.load(std::memory_order_relaxed)};
+}
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void bad_spec(std::string_view what, std::string_view token) {
+  throw std::invalid_argument("FaultPlan: " + std::string(what) + " in '" +
+                              std::string(token) + "'");
+}
+
+[[nodiscard]] std::uint64_t parse_u64(std::string_view value,
+                                      std::string_view token) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    bad_spec("expected an unsigned integer", token);
+  }
+  return out;
+}
+
+[[nodiscard]] double parse_prob(std::string_view value,
+                                std::string_view token) {
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size() || out < 0.0 ||
+      out > 1.0) {
+    bad_spec("expected a probability in [0, 1]", token);
+  }
+  return out;
+}
+
+/// Splits "key=value"; returns false when '=' is absent.
+[[nodiscard]] bool split_kv(std::string_view token, std::string_view& key,
+                            std::string_view& value) noexcept {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos) return false;
+  key = trim(token.substr(0, eq));
+  value = trim(token.substr(eq + 1));
+  return true;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = std::min(spec.find(';', pos), spec.size());
+    const std::string_view clause = trim(spec.substr(pos, semi - pos));
+    pos = semi + 1;
+    if (clause.empty()) continue;
+
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string_view::npos) {
+      // A bare clause must be the plan-level seed.
+      std::string_view key, value;
+      if (!split_kv(clause, key, value) || key != "seed") {
+        bad_spec("expected 'seed=N' or 'site:trigger,...'", clause);
+      }
+      plan.seed = parse_u64(value, clause);
+      continue;
+    }
+
+    SitePlan site;
+    site.site = std::string(trim(clause.substr(0, colon)));
+    if (site.site.empty()) bad_spec("empty site name", clause);
+
+    std::string_view triggers = clause.substr(colon + 1);
+    bool any_trigger = false;
+    std::size_t tpos = 0;
+    while (tpos <= triggers.size()) {
+      const std::size_t comma =
+          std::min(triggers.find(',', tpos), triggers.size());
+      const std::string_view token = trim(triggers.substr(tpos, comma - tpos));
+      tpos = comma + 1;
+      if (token.empty()) continue;
+      std::string_view key, value;
+      if (!split_kv(token, key, value)) bad_spec("expected key=value", token);
+      if (key == "nth") {
+        site.nth = parse_u64(value, token);
+        if (site.nth == 0) bad_spec("nth must be >= 1", token);
+        any_trigger = true;
+      } else if (key == "every") {
+        site.every = parse_u64(value, token);
+        if (site.every == 0) bad_spec("every must be >= 1", token);
+        any_trigger = true;
+      } else if (key == "p") {
+        site.p = parse_prob(value, token);
+        any_trigger = true;
+      } else if (key == "times") {
+        site.times = parse_u64(value, token);
+      } else if (key == "stall_ms") {
+        site.stall_ms = static_cast<std::uint32_t>(parse_u64(value, token));
+      } else {
+        bad_spec("unknown trigger (want nth/every/p/times/stall_ms)", token);
+      }
+    }
+    if (!any_trigger) bad_spec("site needs nth=, every=, or p=", clause);
+    for (const SitePlan& existing : plan.sites) {
+      if (existing.site == site.site) bad_spec("duplicate site", clause);
+    }
+    plan.sites.push_back(std::move(site));
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  for (const SitePlan& site : sites) {
+    out << ";" << site.site << ":";
+    bool first = true;
+    const auto sep = [&]() -> std::ostringstream& {
+      if (!first) out << ",";
+      first = false;
+      return out;
+    };
+    if (site.nth != 0) sep() << "nth=" << site.nth;
+    if (site.every != 0) sep() << "every=" << site.every;
+    if (site.p > 0.0) sep() << "p=" << site.p;
+    if (site.times != ~std::uint64_t{0}) sep() << "times=" << site.times;
+    if (site.stall_ms != 0) sep() << "stall_ms=" << site.stall_ms;
+  }
+  return out.str();
+}
+
+FaultPlan plan_from_env() {
+  const char* spec = std::getenv("KC_FAULT_PLAN");
+  if (spec == nullptr) return {};
+  return FaultPlan::parse(spec);
+}
+
+}  // namespace kc::fault

@@ -1,0 +1,209 @@
+// Deterministic fault injection: named sites, armed by a seeded plan.
+//
+// Production code marks the places where the outside world can fail —
+// a task execution, a reducer machine, a socket write, an allocation —
+// with a *named injection site*:
+//
+//   kc::fault::point("exec.task.run");          // throws InjectedFault
+//                                               // (or stalls) when armed
+//   if (kc::fault::fires("sim.machine", key))   // key-seeded decision
+//     ...treat this simulated machine as lost...
+//
+// Whether a site fires is decided by the armed FaultPlan, parsed from a
+// compact spec (the KC_FAULT_PLAN environment variable, a
+// --fault-plan flag, or ServiceConfig::fault_plan):
+//
+//   seed=42; exec.task.run:p=0.01; svc.request.run:nth=3,times=1;
+//   sim.machine:p=0.05; svc.emit.short:p=0.5; codec.alloc:every=100
+//
+// Triggers per site (at least one required):
+//   nth=N       fire on exactly the Nth hit of the site (1-based)
+//   every=N     fire on every Nth hit
+//   p=X         fire with probability X per hit, decided by a seeded
+//               hash — not a stateful RNG — so a decision depends only
+//               on (plan seed, site, hit index / caller key), never on
+//               thread interleaving
+//   times=N     cap: at most N fires at this site (default unlimited)
+//   stall_ms=N  firing stalls the caller N ms instead of failing it
+//               (watchdog fuel; point() sleeps, fires() reports None)
+//
+// Determinism contract. Counter triggers (nth/every, and p over the
+// hit index) consume one global per-site hit counter: with a serial
+// execution order the fire sequence is exactly reproducible. Keyed
+// hits — fires(site, key) / point(site, key) — decide p-triggers from
+// the caller-supplied key alone, so they are reproducible under *any*
+// thread interleaving; the simulated cluster keys machine loss by
+// (request seed, round ordinal, machine index) for exactly that
+// reason: same FaultPlan seed => the same machines are lost => byte-
+// identical reports on every backend.
+//
+// Overhead when disarmed: every site boils down to one relaxed atomic
+// load and a predictable branch (the plan pointer is null). No site
+// sits inside a kernel inner loop; the hottest placements are per
+// scheduled task and per codec record, far off the ns/pair scan paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kc::fault {
+
+/// Thrown by point() when its site fires with a fail action. Derives
+/// from std::runtime_error: everything upstream treats it exactly like
+/// the real transient failure it stands in for (a service front-end
+/// maps it to "internal-error" and may retry).
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(std::string_view site)
+      : std::runtime_error("injected fault at '" + std::string(site) + "'"),
+        site_(site) {}
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// What a fired site does to its caller.
+enum class Action : std::uint8_t {
+  None = 0,  ///< not fired (or site not in the plan)
+  Fail,      ///< the caller should fail (point() throws InjectedFault)
+  Stall,     ///< the caller should stall stall_ms (point() sleeps)
+};
+
+struct Outcome {
+  Action action = Action::None;
+  std::uint32_t stall_ms = 0;
+};
+
+/// One site's triggers within a plan.
+struct SitePlan {
+  std::string site;
+  std::uint64_t nth = 0;    ///< fire on exactly this hit (0 = off)
+  std::uint64_t every = 0;  ///< fire on every Nth hit (0 = off)
+  double p = 0.0;           ///< seeded per-hit probability
+  std::uint64_t times = ~std::uint64_t{0};  ///< max fires
+  std::uint32_t stall_ms = 0;  ///< action: stall instead of fail
+};
+
+/// A parsed, seedable injection plan. Value type; arm() publishes it.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<SitePlan> sites;
+
+  [[nodiscard]] bool empty() const noexcept { return sites.empty(); }
+
+  /// Parses the spec grammar documented above. Throws
+  /// std::invalid_argument naming the offending token. An empty (or
+  /// all-whitespace) spec parses to an empty plan.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec);
+
+  /// Canonical round-trippable spelling of this plan.
+  [[nodiscard]] std::string to_string() const;
+};
+
+namespace detail {
+
+struct ArmedState;  // registry internals (fault.cpp)
+
+/// The armed plan, or null. Relaxed load on the hot path: a hit that
+/// races an arm()/disarm() may use either state, which is fine — plans
+/// target steady-state runs, not the arming instant. The pointee is
+/// immortal (arena-kept until process exit), so a stale pointer is
+/// never dangling.
+extern std::atomic<const ArmedState*> g_active;
+
+[[nodiscard]] Outcome hit_slow(const ArmedState* state, std::string_view site,
+                               bool keyed, std::uint64_t key) noexcept;
+void point_slow(const ArmedState* state, std::string_view site,
+                std::uint64_t* key);
+
+}  // namespace detail
+
+/// True while a plan is armed (one relaxed load).
+[[nodiscard]] inline bool armed() noexcept {
+  return detail::g_active.load(std::memory_order_relaxed) != nullptr;
+}
+
+/// Registers one hit of `site` and reports what the plan wants done.
+/// Free when disarmed. Counter-sequenced: p-decisions hash the site's
+/// global hit index.
+[[nodiscard]] inline Outcome hit(std::string_view site) noexcept {
+  const detail::ArmedState* state =
+      detail::g_active.load(std::memory_order_relaxed);
+  if (state == nullptr) return {};
+  return detail::hit_slow(state, site, /*keyed=*/false, 0);
+}
+
+/// Keyed hit: p-decisions hash (seed, site, key) instead of the hit
+/// counter, so the outcome for a given key is interleaving-independent.
+/// nth/every triggers still consume the global counter.
+[[nodiscard]] inline Outcome hit(std::string_view site,
+                                 std::uint64_t key) noexcept {
+  const detail::ArmedState* state =
+      detail::g_active.load(std::memory_order_relaxed);
+  if (state == nullptr) return {};
+  return detail::hit_slow(state, site, /*keyed=*/true, key);
+}
+
+/// Convenience hit for "lose or keep" decisions: true only for a fail
+/// fire (a stall site never reports true here).
+[[nodiscard]] inline bool fires(std::string_view site,
+                                std::uint64_t key) noexcept {
+  return hit(site, key).action == Action::Fail;
+}
+
+/// The standard injection site: throws InjectedFault on a fail fire,
+/// sleeps on a stall fire, does nothing otherwise (and nothing at all
+/// beyond one relaxed load when disarmed).
+inline void point(std::string_view site) {
+  const detail::ArmedState* state =
+      detail::g_active.load(std::memory_order_relaxed);
+  if (state == nullptr) return;
+  detail::point_slow(state, site, nullptr);
+}
+inline void point(std::string_view site, std::uint64_t key) {
+  const detail::ArmedState* state =
+      detail::g_active.load(std::memory_order_relaxed);
+  if (state == nullptr) return;
+  detail::point_slow(state, site, &key);
+}
+
+/// Publishes `plan` as the process-wide armed plan (replacing any
+/// previous one; per-site counters start at zero). An empty plan
+/// disarms. Thread-safe against hits; arm/disarm themselves are
+/// serialized internally.
+void arm(const FaultPlan& plan);
+
+/// Disarms injection; every site is free again.
+void disarm() noexcept;
+
+/// Per-site counters of the currently armed plan (zeros when the site
+/// is unknown or nothing is armed) — for tests and diagnostics.
+struct SiteStats {
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+[[nodiscard]] SiteStats stats(std::string_view site) noexcept;
+
+/// RAII arming for scoped use (a test, a ServiceLoop with a configured
+/// plan): arms on construction, disarms on destruction. Nesting is not
+/// tracked — the destructor disarms whatever is armed.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(const FaultPlan& plan) { arm(plan); }
+  explicit ScopedPlan(std::string_view spec) { arm(FaultPlan::parse(spec)); }
+  ~ScopedPlan() { disarm(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+/// The plan named by the KC_FAULT_PLAN environment variable (empty
+/// plan when unset or blank). Throws std::invalid_argument on a
+/// malformed spec, like parse().
+[[nodiscard]] FaultPlan plan_from_env();
+
+}  // namespace kc::fault

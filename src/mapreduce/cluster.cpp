@@ -1,10 +1,13 @@
 #include "mapreduce/cluster.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <string>
 
 #include "exec/cpu_clock.hpp"
+#include "fault/fault.hpp"
+#include "rng/rng.hpp"
 
 namespace kc::mr {
 
@@ -16,7 +19,27 @@ using Clock = std::chrono::steady_clock;
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Loss key for one machine of one round: depends only on the fault
+/// scope (request seed), the round's ordinal in the trace, and the
+/// machine index — never on which thread ran the task or in what
+/// order, so the set of lost machines is identical on every backend.
+[[nodiscard]] std::uint64_t machine_key(std::uint64_t scope,
+                                        std::uint64_t round_ordinal,
+                                        std::uint64_t machine) noexcept {
+  std::uint64_t state = scope;
+  state ^= splitmix64_next(state) + round_ordinal;
+  state ^= splitmix64_next(state) + machine;
+  return splitmix64_next(state);
+}
+
 }  // namespace
+
+MachineFailure::MachineFailure(std::string_view round, int lost, int survivors)
+    : std::runtime_error("round '" + std::string(round) + "' lost " +
+                         std::to_string(lost) + " machine(s), " +
+                         std::to_string(survivors) + " survive"),
+      lost_(lost),
+      survivors_(survivors) {}
 
 SimCluster::SimCluster(int machines, std::size_t capacity_items,
                        exec::BackendKind backend, int threads)
@@ -57,6 +80,14 @@ RoundStats& SimCluster::run_round(std::string_view name, std::span<Task> tasks,
   const auto round_start = Clock::now();
   std::vector<double> task_seconds(tasks.size(), 0.0);
   std::vector<std::uint64_t> task_evals(tasks.size(), 0);
+  // Failure model: decided per machine from a key that is fixed before
+  // any task runs, so the loss set cannot depend on scheduling. A lost
+  // machine's task body never runs — no partial output, zero work. The
+  // keys advance with the trace ordinal, so a retried round draws
+  // fresh decisions.
+  std::vector<unsigned char> lost(tasks.size(), 0);
+  const std::uint64_t round_ordinal =
+      static_cast<std::uint64_t>(trace.num_rounds());
 
   // Each wrapper runs entirely on whichever thread the backend picks,
   // so the WorkScope reads that thread's counters around exactly this
@@ -69,19 +100,28 @@ RoundStats& SimCluster::run_round(std::string_view name, std::span<Task> tasks,
   // sequential backend, where everything runs inline.)
   std::vector<exec::ExecutionBackend::Task> wrapped;
   wrapped.reserve(tasks.size());
+  const std::uint64_t scope = fault_scope_;
   for (std::size_t t = 0; t < tasks.size(); ++t) {
-    wrapped.emplace_back([&tasks, &task_seconds, &task_evals, t] {
-      const WorkScope work;
-      const double cpu_start = exec::thread_cpu_seconds();
-      tasks[t]();
-      task_seconds[t] = exec::thread_cpu_seconds() - cpu_start;
-      task_evals[t] = work.elapsed().distance_evals;
-    });
+    wrapped.emplace_back(
+        [&tasks, &task_seconds, &task_evals, &lost, scope, round_ordinal, t] {
+          if (fault::armed() &&
+              fault::fires("sim.machine",
+                           machine_key(scope, round_ordinal, t))) {
+            lost[t] = 1;
+            return;
+          }
+          const WorkScope work;
+          const double cpu_start = exec::thread_cpu_seconds();
+          tasks[t]();
+          task_seconds[t] = exec::thread_cpu_seconds() - cpu_start;
+          task_evals[t] = work.elapsed().distance_evals;
+        });
   }
   backend_->run_tasks(wrapped);
 
   stats.wall_seconds = seconds_since(round_start);
   for (std::size_t t = 0; t < tasks.size(); ++t) {
+    stats.machines_lost += lost[t] != 0 ? 1 : 0;
     stats.total_machine_seconds += task_seconds[t];
     stats.total_dist_evals += task_evals[t];
     if (task_seconds[t] > stats.max_machine_seconds) {
@@ -91,7 +131,13 @@ RoundStats& SimCluster::run_round(std::string_view name, std::span<Task> tasks,
       stats.max_machine_dist_evals = task_evals[t];
     }
   }
-  return trace.add_round(std::move(stats));
+  RoundStats& recorded = trace.add_round(std::move(stats));
+  if (recorded.machines_lost > 0) {
+    const int survivors = std::max(
+        1, static_cast<int>(tasks.size()) - recorded.machines_lost);
+    throw MachineFailure(name, recorded.machines_lost, survivors);
+  }
+  return recorded;
 }
 
 RoundStats& SimCluster::run_indexed_round(std::string_view name, int count,
@@ -103,6 +149,22 @@ RoundStats& SimCluster::run_indexed_round(std::string_view name, int count,
     tasks.emplace_back([&body, i] { body(i); });
   }
   return run_round(name, tasks, trace);
+}
+
+RoundStats& SimCluster::run_indexed_round_retrying(
+    std::string_view name, int count, const std::function<void(int)>& body,
+    JobTrace& trace) const {
+  for (int attempt = 0; attempt < kMaxRoundAttempts; ++attempt) {
+    try {
+      return run_indexed_round(name, count, body, trace);
+    } catch (const MachineFailure&) {
+      // Re-run everything: the keys advance with the trace ordinal,
+      // so the retry draws fresh loss decisions.
+    }
+  }
+  throw std::runtime_error("SimCluster: round '" + std::string(name) +
+                           "' failed " + std::to_string(kMaxRoundAttempts) +
+                           " attempts (machine loss)");
 }
 
 }  // namespace kc::mr

@@ -16,9 +16,11 @@
 // there — produce paper figures with --exec=seq.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string_view>
 #include <vector>
 
@@ -28,6 +30,30 @@
 #include "mapreduce/trace.hpp"
 
 namespace kc::mr {
+
+/// A reducer round lost simulated machines (the "sim.machine" fault
+/// site fired for them). The lost machines did no work and produced no
+/// output; the round's stats (with machines_lost set) are already in
+/// the trace when this is thrown. Algorithms catch it and re-run the
+/// round on the survivors — see kMaxRoundAttempts.
+class MachineFailure : public std::runtime_error {
+ public:
+  MachineFailure(std::string_view round, int lost, int survivors);
+  [[nodiscard]] int lost() const noexcept { return lost_; }
+  /// Machines still alive for the retry (always >= 1).
+  [[nodiscard]] int survivors() const noexcept { return survivors_; }
+
+ private:
+  int lost_;
+  int survivors_;
+};
+
+/// Upper bound on attempts (first run + retries) an algorithm gives one
+/// logical round before treating the cluster as unusable. With the
+/// keyed loss decisions each retry is a fresh draw (the round ordinal
+/// advances), so eight attempts make even loss probability 0.5 fail
+/// spuriously less than 1 in 2^8 per machine.
+inline constexpr int kMaxRoundAttempts = 8;
 
 class SimCluster {
  public:
@@ -65,9 +91,24 @@ class SimCluster {
 
   using Task = std::function<void()>;
 
+  /// Seeds the machine-failure model for subsequent rounds. A machine
+  /// is lost in a round when the "sim.machine" fault site fires for the
+  /// key mix(scope, round ordinal, machine index) — keyed, not
+  /// counter-based, so with a fixed FaultPlan seed the same machines
+  /// die regardless of execution backend or thread interleaving. The
+  /// Solver passes the request seed as the scope.
+  void set_fault_scope(std::uint64_t scope) noexcept { fault_scope_ = scope; }
+
   /// Runs the tasks of one round (one task = one reducer) and appends a
   /// RoundStats entry to `trace`. Returns a reference to that entry so
   /// callers can annotate items_in / items_out / shuffle_items.
+  ///
+  /// Machine failure: when the "sim.machine" site is armed, each task
+  /// may be lost before doing any work. The round still completes for
+  /// the survivors, its stats (machines_lost > 0) are appended to
+  /// `trace`, and then MachineFailure is thrown so the caller can
+  /// re-run the round on the survivors. Rounds are atomic-per-machine:
+  /// a lost machine contributes nothing, never partial output.
   RoundStats& run_round(std::string_view name, std::span<Task> tasks,
                         JobTrace& trace) const;
 
@@ -76,10 +117,22 @@ class SimCluster {
                                 const std::function<void(int)>& body,
                                 JobTrace& trace) const;
 
+  /// Like run_indexed_round, but machine failure re-runs the whole
+  /// round (same tasks — the survivors take over the lost machines'
+  /// shares) up to kMaxRoundAttempts times before giving up with
+  /// std::runtime_error. Requires an idempotent `body`: each machine
+  /// writes only its own output slot, so completed machines re-running
+  /// is harmless. Algorithms that re-partition on retry (MRG, EIM)
+  /// keep their own loops instead.
+  RoundStats& run_indexed_round_retrying(std::string_view name, int count,
+                                         const std::function<void(int)>& body,
+                                         JobTrace& trace) const;
+
  private:
   int machines_;
   std::size_t capacity_;
   std::shared_ptr<exec::ExecutionBackend> backend_;
+  std::uint64_t fault_scope_ = 0;
 };
 
 }  // namespace kc::mr

@@ -15,7 +15,11 @@ std::string RoundStats::summary() const {
                 static_cast<unsigned long long>(items_out),
                 static_cast<unsigned long long>(total_dist_evals),
                 backend.empty() ? "?" : backend.c_str());
-  return buf;
+  std::string out = buf;
+  if (machines_lost > 0) {
+    out += " lost=" + std::to_string(machines_lost);
+  }
+  return out;
 }
 
 }  // namespace kc::mr

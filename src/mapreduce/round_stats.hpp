@@ -24,6 +24,11 @@ struct RoundStats {
   std::string backend;         ///< effective execution backend for the round
   int round_index = 0;         ///< 0-based position within the job
   int machines_used = 0;       ///< reducers that ran this round
+  /// Simulated machines lost to injected failure ("sim.machine" fault
+  /// site) before doing any work. A round with losses is recorded and
+  /// then re-run by the algorithm on the survivors, so a trace may
+  /// contain both the failed and the retried round.
+  int machines_lost = 0;
 
   double max_machine_seconds = 0.0;   ///< the paper's "processing time"
                                       ///  (max per-task thread CPU time)

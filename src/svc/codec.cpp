@@ -7,6 +7,7 @@
 
 #include "api/error.hpp"
 #include "api/registry.hpp"
+#include "fault/fault.hpp"
 #include "svc/json.hpp"
 
 namespace kc::svc {
@@ -96,6 +97,10 @@ using api::ErrorKind;
       }
     }
   }
+  // The one allocation a validated hostile line can still make large;
+  // the injection site stands in for it failing (bad_alloc and the
+  // injected fault take the same internal-error path in the service).
+  fault::point("codec.alloc");
   PointSet points(value.array.size(), dim);
   for (std::size_t i = 0; i < value.array.size(); ++i) {
     const Json& row = value.array[i];
@@ -352,6 +357,8 @@ std::string write_report(std::uint64_t id, std::string_view tenant,
   append_field(out, "dist_evals", std::to_string(report.dist_evals), &first);
   append_field(out, "budget_consumed",
                std::to_string(report.budget_consumed), &first);
+  append_field(out, "attempts", std::to_string(report.attempts), &first);
+  if (report.degraded) append_field(out, "degraded", "true", &first);
   if (!style.stable) {
     append_field(out, "sim_seconds", json_number(report.sim_seconds), &first);
     append_field(out, "wall_seconds", json_number(report.wall_seconds),
@@ -365,10 +372,17 @@ std::string write_report(std::uint64_t id, std::string_view tenant,
 }
 
 std::string write_error(std::uint64_t id, std::string_view tenant,
-                        std::string_view status, std::string_view message) {
+                        std::string_view status, std::string_view message,
+                        int attempts, bool degraded) {
   std::string out = envelope_prefix(id, tenant, status);
   bool first = false;
   append_string_field(out, "error", message, &first);
+  // Only emitted when the request actually ran: admission rejections
+  // (bad-request, overloaded, shutting-down) keep their historic shape.
+  if (attempts > 0) {
+    append_field(out, "attempts", std::to_string(attempts), &first);
+  }
+  if (degraded) append_field(out, "degraded", "true", &first);
   out += "}";
   return out;
 }

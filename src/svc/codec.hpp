@@ -104,10 +104,16 @@ struct ReportStyle {
 
 /// Serializes a failed request as one JSON line (no newline).
 /// `status` is an api::ErrorKind string or a service-level status
-/// ("deadline-exceeded", "overloaded", "internal-error").
+/// ("deadline-exceeded", "overloaded", "internal-error",
+/// "shutting-down"). `attempts` > 0 records how many solve attempts
+/// ran before the failure (emitted only then, so pure admission
+/// rejections keep their historic shape); `degraded` marks a request
+/// that ran under a degraded policy.
 [[nodiscard]] std::string write_error(std::uint64_t id,
                                       std::string_view tenant,
                                       std::string_view status,
-                                      std::string_view message);
+                                      std::string_view message,
+                                      int attempts = 0,
+                                      bool degraded = false);
 
 }  // namespace kc::svc

@@ -25,8 +25,11 @@ class BoundedQueue {
   explicit BoundedQueue(std::size_t capacity)
       : capacity_(capacity > 0 ? capacity : 1) {}
 
-  /// Blocks while full. Returns false (item not enqueued) when the
-  /// queue is closed.
+  /// Blocks while full. Returns false only when the queue is (or
+  /// becomes, while this call waits) closed — including a close() that
+  /// races an in-flight waiter: every blocked producer wakes, refuses,
+  /// and its by-value `item` is destroyed with the call. Callers that
+  /// need the item back on refusal use try_push.
   bool push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock,
@@ -38,8 +41,11 @@ class BoundedQueue {
     return true;
   }
 
-  /// Non-blocking push: false when full or closed (item untouched in
-  /// that case — the caller still owns it).
+  /// Non-blocking push. On refusal (full or closed) returns false with
+  /// `item` NOT moved from — the caller still owns the original value
+  /// and may retry, reroute, or settle it. The move happens only after
+  /// every refusal check has passed, so there is no path that both
+  /// refuses and consumes.
   bool try_push(T& item) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -87,6 +93,12 @@ class BoundedQueue {
   [[nodiscard]] std::size_t size() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return items_.size();
+  }
+
+  /// True once close() ran (pushes refuse; pop drains the remainder).
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }

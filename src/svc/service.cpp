@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <new>
 #include <utility>
 
 #include "api/error.hpp"
+#include "fault/fault.hpp"
+#include "rng/rng.hpp"
 
 namespace kc::svc {
 
@@ -19,6 +22,31 @@ using Clock = std::chrono::steady_clock;
   return nullptr;
 }
 
+/// Deterministic backoff before retry `attempt` (1-based count of
+/// attempts already made): exponential in the attempt, capped, plus
+/// seeded jitter keyed by (jitter_seed, request serial, attempt) — no
+/// global RNG state, so concurrent retries never perturb each other.
+[[nodiscard]] std::chrono::milliseconds backoff_delay(
+    const RetryPolicy& retry, std::uint64_t serial, int attempt) noexcept {
+  double delay = static_cast<double>(retry.backoff_base_ms);
+  for (int i = 1; i < attempt; ++i) delay *= retry.backoff_factor;
+  delay = std::min(delay, static_cast<double>(retry.backoff_max_ms));
+  std::uint64_t state = retry.jitter_seed;
+  state ^= splitmix64_next(state) + serial;
+  state ^= splitmix64_next(state) + static_cast<std::uint64_t>(attempt);
+  const std::uint64_t jitter_range = std::max<std::uint64_t>(
+      1, retry.backoff_base_ms);
+  const std::uint64_t jitter = splitmix64_next(state) % jitter_range;
+  return std::chrono::milliseconds(static_cast<std::uint64_t>(delay) + jitter);
+}
+
+/// True for the multi-round algorithms the degradation ladder reroutes
+/// to the cheaper coreset path.
+[[nodiscard]] bool reroutable_to_coreset(std::string_view algo) noexcept {
+  return algo == "mrg" || algo == "eim" || algo == "mrg-du" ||
+         algo == "disjoint-union";
+}
+
 }  // namespace
 
 ServiceLoop::ServiceLoop(const ServiceConfig& config,
@@ -29,7 +57,14 @@ ServiceLoop::ServiceLoop(const ServiceConfig& config,
                    : exec::make_backend(config.backend, config.threads)),
       queue_(config.queue_capacity) {
   config_.max_in_flight = std::max(config_.max_in_flight, 1);
+  if (!config_.fault_plan.empty()) {
+    fault::arm(fault::FaultPlan::parse(config_.fault_plan));
+    armed_fault_plan_ = true;
+  }
   deadline_thread_ = std::thread([this] { deadline_loop(); });
+  if (config_.watchdog_ms != 0) {
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 ServiceLoop::~ServiceLoop() {
@@ -40,11 +75,24 @@ ServiceLoop::~ServiceLoop() {
   }
   deadline_cv_.notify_all();
   deadline_thread_.join();
+  if (watchdog_thread_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_thread_.join();
+  }
+  if (armed_fault_plan_) fault::disarm();
 }
 
-void ServiceLoop::close() { queue_.close(); }
+void ServiceLoop::close() {
+  shutting_down_.store(true, std::memory_order_relaxed);
+  queue_.close();
+}
 
 void ServiceLoop::cancel_all() {
+  shutting_down_.store(true, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(state_mutex_);
   for (auto& [serial, token] : active_tokens_) token.request_cancel();
 }
@@ -52,6 +100,16 @@ void ServiceLoop::cancel_all() {
 ServiceLoop::Stats ServiceLoop::stats() const {
   const std::lock_guard<std::mutex> lock(state_mutex_);
   return stats_;
+}
+
+std::size_t ServiceLoop::deadline_entries() const {
+  const std::lock_guard<std::mutex> lock(deadline_mutex_);
+  return deadlines_.size();
+}
+
+std::size_t ServiceLoop::watchdog_entries() const {
+  const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  return watchdog_.size();
 }
 
 std::shared_ptr<exec::EvalBudget> ServiceLoop::tenant_budget(
@@ -112,8 +170,49 @@ std::optional<std::string> ServiceLoop::submit(std::string_view line,
   } catch (const api::Error& e) {
     // The id/tenant of a malformed line are unknown; 0/"" marks that.
     return reject(write_error(0, "", api::to_string(e.kind()), e.what()));
+  } catch (const std::bad_alloc&) {
+    // Point storage of a *valid* line failed to materialize (real OOM
+    // or the "codec.alloc" site): a server-side transient, not a
+    // client error.
+    return reject(
+        write_error(0, "", "internal-error", "request allocation failed"));
+  } catch (const fault::InjectedFault& e) {
+    return reject(write_error(0, "", "internal-error", e.what()));
   }
   item->emit = std::move(emit);
+
+  // A closed (or globally cancelled) service refuses with its own
+  // typed status: producers distinguish "shed this one, try later"
+  // (overloaded) from "stop sending" (shutting-down).
+  if (shutting_down_.load(std::memory_order_relaxed)) {
+    return reject(write_error(item->wire.id, item->wire.tenant,
+                              "shutting-down",
+                              "service is shutting down"));
+  }
+
+  // Degradation ladder: above the high-watermark, make the request
+  // cheaper before the queue bound would shed it.
+  const DegradePolicy* degrade = &config_.degrade;
+  if (const auto it = config_.tenant_degrade.find(item->wire.tenant);
+      it != config_.tenant_degrade.end()) {
+    degrade = &it->second;
+  }
+  if (degrade->enabled()) {
+    const double fill = static_cast<double>(queue_.size()) /
+                        static_cast<double>(queue_.capacity());
+    if (fill >= degrade->high_watermark) {
+      item->degraded = true;
+      if (degrade->use_coreset &&
+          reroutable_to_coreset(item->wire.request.algorithm)) {
+        item->wire.request.algorithm = "ccm";
+        // The options variant must match the algorithm that runs.
+        item->wire.request.options = {};
+      }
+      if (degrade->force_prune) item->wire.request.prune = PruneMode::On;
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      ++stats_.degraded;
+    }
+  }
 
   // Every request gets an armed token: the deadline watcher and
   // cancel_all() need a handle even when the producer supplied none.
@@ -124,9 +223,20 @@ std::optional<std::string> ServiceLoop::submit(std::string_view line,
   // Budget admission: reserve the request's cap from its tenant,
   // retrying around concurrent reservations; the unspent remainder is
   // refunded in settle().
-  const std::uint64_t cap = item->wire.max_dist_evals != 0
-                                ? item->wire.max_dist_evals
-                                : config_.request_budget;
+  std::uint64_t cap = item->wire.max_dist_evals != 0
+                          ? item->wire.max_dist_evals
+                          : config_.request_budget;
+  if (item->degraded && cap != 0 && degrade->budget_factor < 1.0) {
+    cap = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(cap) *
+                                      degrade->budget_factor));
+    // The wire cap doubles as the post-run counter check
+    // (SolveRequest::max_dist_evals); keep them consistent.
+    if (item->wire.max_dist_evals != 0) {
+      item->wire.max_dist_evals = cap;
+      item->wire.request.max_dist_evals = cap;
+    }
+  }
   if (config_.tenant_budget != 0) {
     std::shared_ptr<exec::EvalBudget> tenant;
     bool table_full = false;
@@ -218,13 +328,19 @@ std::optional<std::string> ServiceLoop::submit(std::string_view line,
   };
   if (blocking) {
     if (!queue_.push(std::move(item))) {
+      // push() only refuses a closed queue (it blocks through full), so
+      // this is always a shutdown race: close() beat the waiter.
       unadmit();
-      return reject(write_error(id, tenant_name, "overloaded",
-                                "service is no longer accepting requests"));
+      return reject(write_error(id, tenant_name, "shutting-down",
+                                "service is shutting down"));
     }
   } else {
     if (!queue_.try_push(item)) {
       unadmit();
+      if (queue_.closed()) {
+        return reject(write_error(id, tenant_name, "shutting-down",
+                                  "service is shutting down"));
+      }
       return reject(write_error(id, tenant_name, "overloaded",
                                 "admission queue is full"));
     }
@@ -236,31 +352,115 @@ std::optional<std::string> ServiceLoop::submit(std::string_view line,
   return std::nullopt;
 }
 
+bool ServiceLoop::attempt_solve(Admitted& item, int attempt,
+                                std::string& status, std::string& message,
+                                bool& retryable) {
+  retryable = false;
+  try {
+    // The injected stand-in for "the service plane itself failed this
+    // request" (a worker crash, a lost RPC): transient, so retryable.
+    fault::point("svc.request.run");
+    api::Solver solver(backend_);
+    api::SolveReport report = solver.solve(item.wire.request);
+    report.attempts = attempt;
+    report.degraded = item.degraded;
+    item.line =
+        write_report(item.wire.id, item.wire.tenant, report, config_.style);
+    return true;
+  } catch (const api::Error& e) {
+    // Taxonomy failures are terminal: a bad request stays bad, an
+    // exhausted budget stays exhausted, a cancel stays cancelled.
+    status = std::string(api::to_string(e.kind()));
+    message = e.what();
+    if (e.kind() == api::ErrorKind::Cancelled) {
+      if (item.deadline_fired != nullptr &&
+          item.deadline_fired->load(std::memory_order_relaxed)) {
+        status = "deadline-exceeded";
+      } else if (item.watchdog_fired != nullptr &&
+                 item.watchdog_fired->load(std::memory_order_relaxed)) {
+        status = "internal-error";
+        message = "watchdog: no budget progress for " +
+                  std::to_string(config_.watchdog_ms) + " ms (" + message +
+                  ")";
+      }
+    }
+  } catch (const std::exception& e) {
+    // A non-taxonomy escape — injected or a real bug — is a transient
+    // internal failure worth a typed breadcrumb and a retry, never a
+    // dead service.
+    status = "internal-error";
+    message = e.what();
+    retryable = true;
+  }
+  return false;
+}
+
+bool ServiceLoop::take_retry_token(const std::string& tenant) {
+  if (config_.retry.tenant_retry_budget == 0) return true;
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  std::uint64_t& used = tenant_retries_[tenant];
+  if (used >= config_.retry.tenant_retry_budget) return false;
+  ++used;
+  return true;
+}
+
 void ServiceLoop::execute(Admitted& item) {
   // The WireRequest rebinds its points pointer on move, but be
   // explicit: the solve below must read this instance's storage.
   item.wire.request.points = &item.wire.points;
+  const int max_attempts = std::max(1, config_.retry.max_attempts);
+  watchdog_register(item);
   bool ok = false;
-  try {
-    api::Solver solver(backend_);
-    const api::SolveReport report = solver.solve(item.wire.request);
-    item.line =
-        write_report(item.wire.id, item.wire.tenant, report, config_.style);
-    ok = true;
-  } catch (const api::Error& e) {
-    std::string status(api::to_string(e.kind()));
-    if (e.kind() == api::ErrorKind::Cancelled &&
-        item.deadline_fired != nullptr &&
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    std::string status;
+    std::string message;
+    bool retryable = false;
+    ok = attempt_solve(item, attempt, status, message, retryable);
+    if (ok) break;
+
+    // Deadline + retry interplay: a fired deadline settles the request
+    // as deadline-exceeded after the current attempt, whatever that
+    // attempt's own failure was, and no further attempt starts.
+    if (item.deadline_fired != nullptr &&
         item.deadline_fired->load(std::memory_order_relaxed)) {
-      status = "deadline-exceeded";
+      item.line = write_error(item.wire.id, item.wire.tenant,
+                              "deadline-exceeded",
+                              "deadline expired during attempt " +
+                                  std::to_string(attempt) + ": " + message,
+                              attempt, item.degraded);
+      break;
     }
-    item.line = write_error(item.wire.id, item.wire.tenant, status, e.what());
-  } catch (const std::exception& e) {
-    // A non-taxonomy escape is a bug worth a typed breadcrumb, not a
-    // dead service.
-    item.line =
-        write_error(item.wire.id, item.wire.tenant, "internal-error", e.what());
+    const bool can_retry =
+        retryable && attempt < max_attempts &&
+        !item.wire.request.cancel.cancelled() &&
+        take_retry_token(item.wire.tenant);
+    if (!can_retry) {
+      item.line = write_error(item.wire.id, item.wire.tenant, status, message,
+                              attempt, item.degraded);
+      break;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      ++stats_.retries;
+    }
+    // Backoff, then check the deadline again: a backoff that crossed
+    // it must not start another attempt.
+    std::this_thread::sleep_for(
+        backoff_delay(config_.retry, item.serial, attempt));
+    if (item.deadline_fired != nullptr &&
+        item.deadline_fired->load(std::memory_order_relaxed)) {
+      item.line = write_error(item.wire.id, item.wire.tenant,
+                              "deadline-exceeded",
+                              "deadline expired during retry backoff after "
+                              "attempt " +
+                                  std::to_string(attempt) + ": " + message,
+                              attempt, item.degraded);
+      break;
+    }
   }
+  watchdog_unregister(item.serial);
   const std::lock_guard<std::mutex> lock(state_mutex_);
   ++(ok ? stats_.completed : stats_.failed);
 }
@@ -291,6 +491,66 @@ void ServiceLoop::settle(Admitted& item) {
   }
 }
 
+void ServiceLoop::watchdog_register(Admitted& item) {
+  // Only a request with a budget odometer exposes a progress signal.
+  if (config_.watchdog_ms == 0 || item.budget == nullptr) return;
+  item.watchdog_fired = std::make_shared<std::atomic<bool>>(false);
+  WatchdogEntry entry;
+  entry.budget = item.budget;
+  entry.token = item.wire.request.cancel;
+  entry.fired = item.watchdog_fired;
+  entry.last_consumed = item.budget->consumed();
+  entry.last_progress = Clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_.emplace(item.serial, std::move(entry));
+  }
+  watchdog_cv_.notify_all();
+}
+
+void ServiceLoop::watchdog_unregister(std::uint64_t serial) {
+  if (config_.watchdog_ms == 0) return;
+  const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  watchdog_.erase(serial);
+}
+
+void ServiceLoop::watchdog_loop() {
+  const auto horizon = std::chrono::milliseconds(config_.watchdog_ms);
+  const auto tick =
+      std::max(std::chrono::milliseconds(1),
+               std::chrono::milliseconds(config_.watchdog_ms / 4));
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  for (;;) {
+    if (watchdog_stop_) return;
+    if (watchdog_.empty()) {
+      watchdog_cv_.wait(lock);
+      continue;
+    }
+    watchdog_cv_.wait_for(lock, tick);
+    if (watchdog_stop_) return;
+    const auto now = Clock::now();
+    for (auto& [serial, entry] : watchdog_) {
+      const std::uint64_t consumed = entry.budget->consumed();
+      if (consumed != entry.last_consumed) {
+        entry.last_consumed = consumed;
+        entry.last_progress = now;
+        continue;
+      }
+      if (now - entry.last_progress >= horizon &&
+          !entry.fired->load(std::memory_order_relaxed)) {
+        // Stuck: the odometer sat still for the whole horizon. Cancel
+        // through the request's own token; execute() maps the
+        // resulting Cancelled to "internal-error" with diagnostics
+        // because `fired` is set first.
+        entry.fired->store(true, std::memory_order_relaxed);
+        entry.token.request_cancel();
+        const std::lock_guard<std::mutex> state_lock(state_mutex_);
+        ++stats_.watchdog_fired;
+      }
+    }
+  }
+}
+
 void ServiceLoop::run() {
   exec::Scheduler* scheduler = scheduler_of(backend_.get());
 
@@ -303,7 +563,21 @@ void ServiceLoop::run() {
   const auto finish_front = [&] {
     InFlight flight = std::move(window.front());
     window.pop_front();
-    flight.group->wait();  // execute() never lets an exception escape
+    // execute() never lets an exception escape, but the scheduler can
+    // fail the group *before* execute() runs (the "exec.task.run" site
+    // fires at the request's own group node, or a real spawn failure).
+    // The exactly-one-report contract must hold on that path too.
+    try {
+      flight.group->wait();
+    } catch (const std::exception& e) {
+      if (flight.item->line.empty()) {
+        flight.item->line =
+            write_error(flight.item->wire.id, flight.item->wire.tenant,
+                        "internal-error", e.what());
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        ++stats_.failed;
+      }
+    }
     settle(*flight.item);
     if (flight.item->emit) flight.item->emit(flight.item->line);
   };

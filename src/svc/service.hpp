@@ -49,6 +49,49 @@
 
 namespace kc::svc {
 
+/// Retry of *transient internal* failures (injected faults, escaped
+/// non-taxonomy exceptions). Client errors (bad-request), budget
+/// exhaustion, cancellation and deadlines are terminal — retrying
+/// them could never succeed.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total attempts per request (1 = no retry)
+  /// Exponential backoff between attempts: base * factor^(attempt-1),
+  /// capped, plus seeded jitter in [0, base). Purely wall-clock —
+  /// never part of the report bytes, so retries keep replays
+  /// byte-identical.
+  std::uint64_t backoff_base_ms = 1;
+  double backoff_factor = 2.0;
+  std::uint64_t backoff_max_ms = 50;
+  std::uint64_t jitter_seed = 0x5eedf00dull;
+  /// Retry attempts (beyond each request's first) a tenant may consume
+  /// over the service lifetime; 0 = unlimited. A tenant at its budget
+  /// fails fast instead of retrying.
+  std::uint64_t tenant_retry_budget = 0;
+};
+
+/// Graceful degradation above a queue high-watermark: shed load by
+/// making requests cheaper *before* shedding them as "overloaded".
+/// Configurable per tenant (ServiceConfig::tenant_degrade) on top of
+/// the service-wide default.
+struct DegradePolicy {
+  /// Queue fill fraction (size/capacity) at which degradation engages;
+  /// anything > 1.0 disables it (the default: degradation changes
+  /// results, so it is strictly opt-in).
+  double high_watermark = 2.0;
+  /// Shrink factor applied to the request's evaluation cap (where one
+  /// exists) while degraded.
+  double budget_factor = 0.5;
+  /// Reroute the expensive multi-round algorithms (mrg, eim, mrg-du)
+  /// to the cheaper single-pass ccm coreset path while degraded.
+  bool use_coreset = true;
+  /// Force spatial pruning on while degraded.
+  bool force_prune = true;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return high_watermark <= 1.0;
+  }
+};
+
 struct ServiceConfig {
   /// Execution substrate for every request (ThreadPool = concurrent
   /// requests on one work-stealing scheduler; Sequential = one at a
@@ -85,6 +128,25 @@ struct ServiceConfig {
 
   CodecLimits limits;
   ReportStyle style;
+
+  RetryPolicy retry;
+  /// Service-wide degradation ladder; disabled by default.
+  DegradePolicy degrade;
+  /// Per-tenant overrides of `degrade` (missing tenants use the
+  /// service-wide policy).
+  std::map<std::string, DegradePolicy, std::less<>> tenant_degrade;
+
+  /// Watchdog: cancel a request whose budget odometer made no progress
+  /// for this many milliseconds (settled "internal-error" with
+  /// diagnostics). 0 disables. Only requests with a budget odometer
+  /// are watchable — an unbudgeted request exposes no progress signal.
+  std::uint64_t watchdog_ms = 0;
+
+  /// Fault-injection plan armed for this service's lifetime (see
+  /// fault/fault.hpp for the grammar; empty = none). Process-global:
+  /// meant for one-service processes and tests, the constructor arms
+  /// it and the destructor disarms.
+  std::string fault_plan;
 };
 
 /// Writes one finished report line (no trailing newline). Called from
@@ -133,8 +195,18 @@ class ServiceLoop {
     std::uint64_t rejected = 0;   ///< refused at submit()
     std::uint64_t completed = 0;  ///< reports with status "ok"
     std::uint64_t failed = 0;     ///< reports with any error status
+    std::uint64_t retries = 0;    ///< solve attempts beyond each first
+    std::uint64_t degraded = 0;   ///< requests admitted degraded
+    std::uint64_t watchdog_fired = 0;  ///< requests the watchdog killed
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Armed deadline-watcher entries (tests assert none leak after a
+  /// drain).
+  [[nodiscard]] std::size_t deadline_entries() const;
+  /// Requests currently tracked by the watchdog (tests assert none
+  /// leak after a drain).
+  [[nodiscard]] std::size_t watchdog_entries() const;
 
   [[nodiscard]] const std::shared_ptr<exec::ExecutionBackend>& backend()
       const noexcept {
@@ -161,10 +233,24 @@ class ServiceLoop {
     /// the full deadline horizon.
     std::chrono::steady_clock::time_point deadline_at;
     std::uint64_t serial = 0;  ///< active-token registry key
+    bool degraded = false;     ///< ran under the degradation ladder
+    /// Set by the watchdog when it cancelled this request (maps the
+    /// resulting Cancelled to "internal-error" with diagnostics).
+    std::shared_ptr<std::atomic<bool>> watchdog_fired;
   };
 
   void execute(Admitted& item);
   void settle(Admitted& item);
+  /// One solve attempt; returns true on success, sets
+  /// `status`/`message` and `retryable` otherwise.
+  bool attempt_solve(Admitted& item, int attempt, std::string& status,
+                     std::string& message, bool& retryable);
+  /// Consumes one unit of the tenant's retry budget; false when
+  /// exhausted.
+  bool take_retry_token(const std::string& tenant);
+  void watchdog_register(Admitted& item);
+  void watchdog_unregister(std::uint64_t serial);
+  void watchdog_loop();
   void arm_deadline(std::chrono::steady_clock::time_point when,
                     CancellationToken token,
                     std::shared_ptr<std::atomic<bool>> fired);
@@ -179,9 +265,19 @@ class ServiceLoop {
   std::shared_ptr<exec::ExecutionBackend> backend_;
   BoundedQueue<std::unique_ptr<Admitted>> queue_;
 
+  /// Set by close() and cancel_all(): submit() settles "shutting-down"
+  /// without touching the queue.
+  std::atomic<bool> shutting_down_{false};
+  /// True when this instance armed config_.fault_plan (disarmed in the
+  /// destructor).
+  bool armed_fault_plan_ = false;
+
   mutable std::mutex state_mutex_;
   std::map<std::string, std::shared_ptr<exec::EvalBudget>, std::less<>>
       tenants_;
+  /// Retry tokens each tenant has consumed (only grown when a
+  /// tenant_retry_budget is configured).
+  std::map<std::string, std::uint64_t, std::less<>> tenant_retries_;
   std::map<std::uint64_t, CancellationToken> active_tokens_;
   std::uint64_t next_serial_ = 0;
   Stats stats_;
@@ -190,12 +286,27 @@ class ServiceLoop {
     CancellationToken token;
     std::shared_ptr<std::atomic<bool>> fired;
   };
-  std::mutex deadline_mutex_;
+  mutable std::mutex deadline_mutex_;
   std::condition_variable deadline_cv_;
   std::multimap<std::chrono::steady_clock::time_point, DeadlineEntry>
       deadlines_;
   bool deadline_stop_ = false;
   std::thread deadline_thread_;
+
+  /// Watchdog state: one entry per executing attempt, keyed by the
+  /// request serial. Progress = the budget odometer moving.
+  struct WatchdogEntry {
+    std::shared_ptr<exec::EvalBudget> budget;
+    CancellationToken token;
+    std::shared_ptr<std::atomic<bool>> fired;
+    std::uint64_t last_consumed = 0;
+    std::chrono::steady_clock::time_point last_progress;
+  };
+  mutable std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  std::map<std::uint64_t, WatchdogEntry> watchdog_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_thread_;
 };
 
 }  // namespace kc::svc

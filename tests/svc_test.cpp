@@ -293,6 +293,42 @@ TEST(SvcQueue, BoundBlocksProducersAndCloseDrains) {
   EXPECT_EQ(queue.try_pop(), std::nullopt);
 }
 
+TEST(SvcQueue, TryPushRefusalLeavesTheItemUntouched) {
+  svc::BoundedQueue<std::unique_ptr<int>> queue(1);
+  auto first = std::make_unique<int>(1);
+  EXPECT_TRUE(queue.try_push(first));
+  EXPECT_EQ(first, nullptr);  // accepted: moved in
+  auto second = std::make_unique<int>(2);
+  EXPECT_FALSE(queue.try_push(second));  // full
+  ASSERT_NE(second, nullptr);  // refused: caller still owns the value
+  EXPECT_EQ(*second, 2);
+  queue.close();
+  EXPECT_FALSE(queue.try_push(second));  // closed
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(*second, 2);
+}
+
+TEST(SvcQueue, CloseWakesEveryBlockedProducerToRefuse) {
+  svc::BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.push(0));
+  std::atomic<int> refused{0};
+  std::vector<std::thread> producers;
+  for (int i = 0; i < 4; ++i) {
+    producers.emplace_back([&queue, &refused, i] {
+      if (!queue.push(100 + i)) refused.fetch_add(1);
+    });
+  }
+  // Give the producers time to park in push()'s full-queue wait, then
+  // close underneath them: each must wake and refuse, not hang or slip
+  // an item past the close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(refused.load(), 4);
+  EXPECT_EQ(queue.pop(), 0);  // only the pre-close item drains
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
 // --------------------------------------------------------------- service
 
 /// Runs `lines` through one ServiceLoop (stdin-mode shape: submit all,
@@ -503,6 +539,48 @@ TEST(SvcService, NonBlockingAdmissionAnswersOverloaded) {
   service.run();  // drain the one admitted request
   ASSERT_EQ(reports.size(), 1u);
   EXPECT_EQ(status_of(reports[0]), "ok");
+}
+
+TEST(SvcService, SubmitAfterCloseSettlesShuttingDown) {
+  svc::ServiceConfig config;
+  config.backend = exec::BackendKind::Sequential;
+  svc::ServiceLoop service(config);
+  std::vector<std::string> reports;
+  const svc::EmitFn emit = [&](const std::string& line) {
+    reports.push_back(line);
+  };
+  service.close();
+  const std::string line = request_line(1, "t", "gon", 1, 10, 2);
+  // Both admission paths answer the typed shutdown status: producers
+  // distinguish "stop sending" from a shedding "overloaded".
+  const auto blocking = service.submit(line, emit);
+  ASSERT_TRUE(blocking.has_value());
+  EXPECT_EQ(status_of(*blocking), "shutting-down") << *blocking;
+  const auto non_blocking = service.submit(line, emit, /*blocking=*/false);
+  ASSERT_TRUE(non_blocking.has_value());
+  EXPECT_EQ(status_of(*non_blocking), "shutting-down") << *non_blocking;
+  service.run();
+  EXPECT_TRUE(reports.empty());
+  EXPECT_EQ(service.stats().rejected, 2u);
+  EXPECT_EQ(service.deadline_entries(), 0u);  // nothing stayed armed
+}
+
+TEST(SvcService, SubmitAfterCancelAllSettlesShuttingDown) {
+  svc::ServiceConfig config;
+  config.backend = exec::BackendKind::Sequential;
+  svc::ServiceLoop service(config);
+  std::vector<std::string> reports;
+  const svc::EmitFn emit = [&](const std::string& line) {
+    reports.push_back(line);
+  };
+  service.cancel_all();  // global disconnect, admission not yet closed
+  const auto rejection =
+      service.submit(request_line(1, "t", "gon", 1, 10, 2), emit);
+  ASSERT_TRUE(rejection.has_value());
+  EXPECT_EQ(status_of(*rejection), "shutting-down") << *rejection;
+  service.close();
+  service.run();
+  EXPECT_TRUE(reports.empty());
 }
 
 TEST(SvcService, CancelAllStopsInFlightRequests) {

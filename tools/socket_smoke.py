@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Socket-mode smoke client for kcenter_serve under an armed fault plan.
+
+Run by CI against a kcenter_serve --socket instance whose --fault-plan
+injects EINTR, short writes and dropped accepts. The assertions are the
+resilience contract from the client's point of view:
+
+  * every response line is valid JSON with a status — an injected
+    short write or EINTR mid-report must never truncate or interleave
+    the JSONL framing;
+  * each connection gets exactly one response per request it sent, with
+    the ids it sent — no report is lost to, or duplicated onto, another
+    connection (no reaped-fd reuse);
+  * a connection dropped by an injected accept fault is recoverable by
+    plain reconnect — the listener itself must keep serving.
+
+Usage: socket_smoke.py /path/to/kc.sock
+"""
+
+import json
+import socket
+import sys
+import time
+
+
+def request(rid):
+    return json.dumps({
+        "id": rid,
+        "tenant": "smoke",
+        "algorithm": "gon",
+        "k": 2,
+        "seed": rid,
+        "points": [[float(i), float(i % 7)] for i in range(12)],
+    })
+
+
+def run_connection(path, ids, attempts=10):
+    """Sends one request per id and returns the response lines.
+
+    An injected serve.accept fault closes a freshly accepted connection
+    before it is served; the client's recourse is exactly a reconnect,
+    so a cleanly dropped connection retries instead of failing.
+    """
+    for _ in range(attempts):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(30)
+            sock.connect(path)
+            sock.sendall("".join(request(i) + "\n" for i in ids).encode())
+            buffer = b""
+            lines = []
+            while len(lines) < len(ids):
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break  # dropped before service: reconnect and retry
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    lines.append(line)
+            if len(lines) == len(ids):
+                return lines
+        except (BrokenPipeError, ConnectionResetError, ConnectionRefusedError):
+            pass
+        finally:
+            sock.close()
+        time.sleep(0.2)
+    raise SystemExit(f"connection never served after {attempts} attempts")
+
+
+def main():
+    path = sys.argv[1]
+    for conn in range(3):
+        ids = list(range(conn * 100 + 1, conn * 100 + 21))
+        lines = run_connection(path, ids)
+        got = set()
+        for line in lines:
+            report = json.loads(line)  # framing survived the faults
+            assert "status" in report, report
+            got.add(report["id"])
+        assert got == set(ids), (sorted(got), ids)
+    print("socket smoke: 3 connections x 20 requests, framing intact")
+
+
+if __name__ == "__main__":
+    main()
