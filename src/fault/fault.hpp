@@ -37,8 +37,9 @@
 // reason: same FaultPlan seed => the same machines are lost => byte-
 // identical reports on every backend.
 //
-// Overhead when disarmed: every site boils down to one relaxed atomic
-// load and a predictable branch (the plan pointer is null). No site
+// Overhead when disarmed: every site boils down to one acquire atomic
+// load (free on x86) and a predictable branch (the plan pointer is
+// null). No site
 // sits inside a kernel inner loop; the hottest placements are per
 // scheduled task and per codec record, far off the ns/pair scan paths.
 #pragma once
@@ -109,11 +110,14 @@ namespace detail {
 
 struct ArmedState;  // registry internals (fault.cpp)
 
-/// The armed plan, or null. Relaxed load on the hot path: a hit that
-/// races an arm()/disarm() may use either state, which is fine — plans
-/// target steady-state runs, not the arming instant. The pointee is
-/// immortal (arena-kept until process exit), so a stale pointer is
-/// never dangling.
+/// The armed plan, or null. Acquire load on the hot path (pairs with
+/// arm()'s release store), so a thread that observes the pointer also
+/// observes the fully-built ArmedState behind it — relaxed would let a
+/// weakly-ordered machine dereference before the pointee's writes are
+/// visible. A hit that races an arm()/disarm() may still use either
+/// state, which is fine — plans target steady-state runs, not the
+/// arming instant. The pointee is immortal (arena-kept until process
+/// exit), so a stale pointer is never dangling.
 extern std::atomic<const ArmedState*> g_active;
 
 [[nodiscard]] Outcome hit_slow(const ArmedState* state, std::string_view site,
@@ -133,7 +137,7 @@ void point_slow(const ArmedState* state, std::string_view site,
 /// global hit index.
 [[nodiscard]] inline Outcome hit(std::string_view site) noexcept {
   const detail::ArmedState* state =
-      detail::g_active.load(std::memory_order_relaxed);
+      detail::g_active.load(std::memory_order_acquire);
   if (state == nullptr) return {};
   return detail::hit_slow(state, site, /*keyed=*/false, 0);
 }
@@ -144,7 +148,7 @@ void point_slow(const ArmedState* state, std::string_view site,
 [[nodiscard]] inline Outcome hit(std::string_view site,
                                  std::uint64_t key) noexcept {
   const detail::ArmedState* state =
-      detail::g_active.load(std::memory_order_relaxed);
+      detail::g_active.load(std::memory_order_acquire);
   if (state == nullptr) return {};
   return detail::hit_slow(state, site, /*keyed=*/true, key);
 }
@@ -158,16 +162,16 @@ void point_slow(const ArmedState* state, std::string_view site,
 
 /// The standard injection site: throws InjectedFault on a fail fire,
 /// sleeps on a stall fire, does nothing otherwise (and nothing at all
-/// beyond one relaxed load when disarmed).
+/// beyond one acquire load when disarmed).
 inline void point(std::string_view site) {
   const detail::ArmedState* state =
-      detail::g_active.load(std::memory_order_relaxed);
+      detail::g_active.load(std::memory_order_acquire);
   if (state == nullptr) return;
   detail::point_slow(state, site, nullptr);
 }
 inline void point(std::string_view site, std::uint64_t key) {
   const detail::ArmedState* state =
-      detail::g_active.load(std::memory_order_relaxed);
+      detail::g_active.load(std::memory_order_acquire);
   if (state == nullptr) return;
   detail::point_slow(state, site, &key);
 }
