@@ -1,5 +1,14 @@
 #include "api/registry.hpp"
 
+// GCC 12 miscompiles the -Wrestrict bounds of short string-literal
+// assignments inlined through libstdc++'s char_traits (GCC PR105329):
+// `report.guarantee = "2"` reports a possible overlap of ~2^63 bytes.
+// False positive, suppressed for this TU only; Clang and later GCCs
+// are unaffected.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ == 12
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 #include <algorithm>
 #include <stdexcept>
 #include <string>

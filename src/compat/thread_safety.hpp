@@ -1,0 +1,171 @@
+// Clang Thread Safety Analysis, portably.
+//
+// The concurrent core (svc/queue, svc/service, exec/scheduler,
+// fault/fault) declares its lock discipline with the KC_* attribute
+// macros below: every mutex-guarded member says which mutex guards it
+// (KC_GUARDED_BY), every locking function says what it acquires,
+// requires or must not hold (KC_ACQUIRE / KC_REQUIRES / KC_EXCLUDES).
+// Under Clang, `-Wthread-safety -Werror=thread-safety` (the
+// KC_THREAD_SAFETY CMake option, on by default for Clang and enforced
+// in CI) turns those declarations into compile errors on any access
+// to a guarded member without its mutex and on any unlock-without-
+// lock / double-lock path — races the test matrix would only catch on
+// the interleavings a TSan run happens to explore. Under every other
+// compiler the macros expand to nothing and the wrappers below inline
+// to their std counterparts, so the annotations are zero-cost and the
+// build stays portable.
+//
+// std::mutex itself carries no capability attributes in libstdc++, so
+// the analysis cannot track it. The Mutex / LockGuard / MutexLock /
+// CondVar wrappers are the canonical fix (the mutex.h pattern from the
+// Clang docs): Mutex is the annotated capability over a std::mutex,
+// LockGuard and MutexLock are annotated scoped acquisitions over
+// std::lock_guard / std::unique_lock semantics, and CondVar adapts
+// std::condition_variable to MutexLock. Condition-variable predicate
+// waits are written as explicit while loops in annotated code — a
+// predicate lambda is analyzed as its own function and would not see
+// the capability held by the enclosing wait.
+//
+// KC_NO_THREAD_SAFETY_ANALYSIS is a last-resort escape hatch; per the
+// repo's lint contract every use must carry a written reason on the
+// same declaration (and there are currently none in the tree).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define KC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define KC_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a lockable capability (argument = the name
+/// the diagnostics use, e.g. "mutex").
+#define KC_CAPABILITY(x) KC_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime holds a capability.
+#define KC_SCOPED_CAPABILITY KC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member `x` may only be read/written while holding the named mutex.
+#define KC_GUARDED_BY(x) KC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointee (not the pointer) is guarded.
+#define KC_PT_GUARDED_BY(x) KC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (held on return, not on entry).
+#define KC_ACQUIRE(...) KC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define KC_RELEASE(...) KC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `res`.
+#define KC_TRY_ACQUIRE(res, ...) \
+  KC_THREAD_ANNOTATION(try_acquire_capability(res, __VA_ARGS__))
+
+/// Caller must hold the capability across the call.
+#define KC_REQUIRES(...) KC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function takes it itself —
+/// calling with it held would self-deadlock a non-recursive mutex).
+#define KC_EXCLUDES(...) KC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define KC_RETURN_CAPABILITY(x) KC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (for code reachable
+/// only under a lock the analysis cannot see).
+#define KC_ASSERT_CAPABILITY(x) KC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use
+/// must state a reason on the same declaration; the determinism lint
+/// (tools/kc_lint.py) rejects bare uses.
+#define KC_NO_THREAD_SAFETY_ANALYSIS \
+  KC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace kc::compat {
+
+/// std::mutex as an annotated capability. Same size, same codegen —
+/// every method inlines to the std::mutex call.
+class KC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() KC_ACQUIRE() { mu_.lock(); }
+  void unlock() KC_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() KC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// std::lock_guard over a Mutex: acquire on construction, release on
+/// destruction, nothing in between.
+class KC_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) KC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() KC_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over a Mutex: supports mid-scope unlock/relock and
+/// condition-variable waits. The destructor releases only if held
+/// (std::unique_lock semantics); the analysis models a scoped
+/// capability's destructor the same way, so an early unlock() does not
+/// double-release.
+class KC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KC_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() KC_RELEASE() = default;
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() KC_ACQUIRE() { lock_.lock(); }
+  void unlock() KC_RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable adapted to MutexLock. No predicate
+/// overloads on purpose: annotated callers loop explicitly, so the
+/// guarded reads in the predicate sit in the function the analysis
+/// checks, not in a lambda it cannot associate with the held lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& when) {
+    return cv_.wait_until(lock.lock_, when);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace kc::compat

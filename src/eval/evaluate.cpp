@@ -58,6 +58,9 @@ void nearest_comparable_bulk(const DistanceOracle& oracle,
     std::mutex error_mutex;
 #pragma omp parallel for schedule(static)
     for (std::int64_t b = 0; b < nchunks; ++b) {
+      // Relaxed: best-effort early exit; a chunk that misses the flag
+      // merely does redundant work, and the exception itself is
+      // published under error_mutex.
       if (stopped.load(std::memory_order_relaxed)) continue;
       const std::size_t lo = static_cast<std::size_t>(b) * kChunk;
       const std::size_t len = std::min(kChunk, pts.size() - lo);
@@ -67,6 +70,8 @@ void nearest_comparable_bulk(const DistanceOracle& oracle,
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
+        // Relaxed: the flag only short-circuits remaining chunks; the
+        // omp barrier at loop end orders everything before the rethrow.
         stopped.store(true, std::memory_order_relaxed);
       }
     }

@@ -34,11 +34,15 @@ class CancellationToken {
     return token;
   }
 
+  // Relaxed on both sides: the flag carries no payload — observers act
+  // on the bool alone (stop looping and throw), so no acquire/release
+  // pairing is needed and a slightly-stale read only delays the stop.
   void request_cancel() const noexcept {
     if (flag_) flag_->store(true, std::memory_order_relaxed);
   }
   [[nodiscard]] bool cancelled() const noexcept {
-    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+    return flag_ != nullptr &&
+           flag_->load(std::memory_order_relaxed);  // see note above
   }
   /// True when this token shares a real flag (false for the inert
   /// default-constructed token).

@@ -52,11 +52,14 @@ class EvalBudget {
   /// false — deducting nothing — when it does not; the budget is then
   /// exhausted for every future charge of more than the remainder.
   [[nodiscard]] bool try_charge(std::uint64_t evals) noexcept {
+    // Relaxed throughout: the counter is a pure quota — no other data
+    // is published through it, and the CAS already makes each deduction
+    // atomic; cross-thread ordering of unrelated writes is irrelevant.
     std::uint64_t current = remaining_.load(std::memory_order_relaxed);
     do {
       if (current < evals) return false;
-    } while (!remaining_.compare_exchange_weak(current, current - evals,
-                                               std::memory_order_relaxed));
+    } while (!remaining_.compare_exchange_weak(
+        current, current - evals, std::memory_order_relaxed));  // see above
     return true;
   }
 
@@ -66,16 +69,18 @@ class EvalBudget {
   /// request settles; crediting more than was charged is a caller bug
   /// (consumed() would underflow) and is clamped.
   void credit(std::uint64_t evals) noexcept {
+    // Relaxed: same pure-quota argument as try_charge above.
     std::uint64_t current = remaining_.load(std::memory_order_relaxed);
     std::uint64_t next;
     do {
       next = std::min(limit_, current + evals);
-    } while (!remaining_.compare_exchange_weak(current, next,
-                                               std::memory_order_relaxed));
+    } while (!remaining_.compare_exchange_weak(
+        current, next, std::memory_order_relaxed));  // see above
   }
 
   [[nodiscard]] std::uint64_t limit() const noexcept { return limit_; }
   [[nodiscard]] std::uint64_t remaining() const noexcept {
+    // Relaxed: monitoring read; callers tolerate a stale snapshot.
     return remaining_.load(std::memory_order_relaxed);
   }
   /// Evaluations successfully charged so far.

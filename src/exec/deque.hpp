@@ -58,6 +58,8 @@ class WorkDeque {
     const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     const std::int64_t t = top_.load(std::memory_order_seq_cst);
     if (b - t > mask_) return false;
+    // Relaxed slot write: the seq_cst store to bottom_ below is the
+    // publication point; thieves read the slot only after observing it.
     buffer_[b & mask_].store(item, std::memory_order_relaxed);
     bottom_.store(b + 1, std::memory_order_seq_cst);
     return true;
@@ -79,6 +81,8 @@ class WorkDeque {
       // is foreign we must not have claimed it even transiently.
       const std::int64_t t = top_.load(std::memory_order_seq_cst);
       if (t > b) return Claim::Empty;
+      // Relaxed slot read: only the owner writes this slot, and its
+      // own program order suffices; thieves never touch index b here.
       const T candidate = buffer_[b & mask_].load(std::memory_order_relaxed);
       if (!pred(candidate)) return Claim::Skipped;
     }
@@ -88,6 +92,7 @@ class WorkDeque {
       bottom_.store(b + 1, std::memory_order_seq_cst);
       return Claim::Empty;
     }
+    // Relaxed: owner-written slot, owner-read (see peek above).
     out = buffer_[b & mask_].load(std::memory_order_relaxed);
     if (t == b) {
       // Last element: race the thieves for it via top.
@@ -111,6 +116,9 @@ class WorkDeque {
     std::int64_t t = top_.load(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return Claim::Empty;
+    // Relaxed slot read: publication happened-before via the seq_cst
+    // bottom_ load above (Chase-Lev); the CAS on top_ then validates
+    // that the slot was not recycled under us before `out` is used.
     const T candidate = buffer_[t & mask_].load(std::memory_order_relaxed);
     if (!pred(candidate)) return Claim::Skipped;
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,

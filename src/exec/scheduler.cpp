@@ -34,11 +34,17 @@ thread_local ThreadRef t_ref;
 
 TaskGroup::TaskGroup(Scheduler& scheduler) : scheduler_(&scheduler) {
   {
-    const std::lock_guard<std::mutex> lock(scheduler.drain_mutex_);
+    const compat::LockGuard lock(scheduler.drain_mutex_);
     ++scheduler.live_groups_;
   }
   // Empty groups are born completed so wait() on one returns at once.
-  core_.completed = true;
+  // (Locked although the group is not yet shared: `completed` is
+  // guarded state and the annotations hold everywhere, not just where
+  // contention is possible.)
+  {
+    const compat::LockGuard lock(core_.mutex);
+    core_.completed = true;
+  }
   lease_slot_ = scheduler.lease_slot_for_this_thread(lease_owned_);
 }
 
@@ -49,7 +55,7 @@ TaskGroup::~TaskGroup() {
   scheduler_->wait_for_group(core_, lease_slot_);
   if (lease_owned_) scheduler_->release_slot(lease_slot_);
   {
-    const std::lock_guard<std::mutex> lock(scheduler_->drain_mutex_);
+    const compat::LockGuard lock(scheduler_->drain_mutex_);
     if (--scheduler_->live_groups_ == 0) scheduler_->drained_.notify_all();
   }
 }
@@ -58,11 +64,13 @@ void TaskGroup::submit(std::function<void()> task) {
   scheduler_->acquire_nodes(1, lease_slot_, scratch_);
   detail::TaskNode* node = scratch_.back();
   scratch_.clear();
+  // Relaxed: the node is still private here; submit_node's seq_cst
+  // deque publication is what makes it (and this field) visible.
   node->group.store(&core_, std::memory_order_relaxed);
   node->owned = std::move(task);
   core_.pending.fetch_add(1, std::memory_order_seq_cst);
   {
-    const std::lock_guard<std::mutex> lock(core_.mutex);
+    const compat::LockGuard lock(core_.mutex);
     core_.completed = false;
   }
   scheduler_->submit_node(node, lease_slot_);
@@ -78,11 +86,12 @@ void TaskGroup::submit_chunks(
   // cannot transiently look complete mid-submission.
   core_.pending.fetch_add(chunks, std::memory_order_seq_cst);
   {
-    const std::lock_guard<std::mutex> lock(core_.mutex);
+    const compat::LockGuard lock(core_.mutex);
     core_.completed = false;
   }
   for (std::size_t c = 0; c < chunks; ++c) {
     detail::TaskNode* node = scratch_[c];
+    // Relaxed: node is private until submit_node publishes it.
     node->group.store(&core_, std::memory_order_relaxed);
     node->range = &body;
     const auto [lo, hi] = chunk_bounds(n, chunks, c);
@@ -99,11 +108,12 @@ void TaskGroup::submit_all(std::span<const std::function<void()>> tasks) {
   scheduler_->acquire_nodes(tasks.size(), lease_slot_, scratch_);
   core_.pending.fetch_add(tasks.size(), std::memory_order_seq_cst);
   {
-    const std::lock_guard<std::mutex> lock(core_.mutex);
+    const compat::LockGuard lock(core_.mutex);
     core_.completed = false;
   }
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     detail::TaskNode* node = scratch_[t];
+    // Relaxed: node is private until submit_node publishes it.
     node->group.store(&core_, std::memory_order_relaxed);
     node->borrowed = &tasks[t];
     scheduler_->submit_node(node, lease_slot_);
@@ -116,7 +126,7 @@ void TaskGroup::wait() {
   scheduler_->wait_for_group(core_, lease_slot_);
   std::exception_ptr error;
   {
-    const std::lock_guard<std::mutex> lock(core_.mutex);
+    const compat::LockGuard lock(core_.mutex);
     error = core_.error;
     core_.error = nullptr;
   }
@@ -135,9 +145,15 @@ Scheduler::Scheduler(int threads) {
   for (int s = 0; s < worker_slots_ + kParticipantSlots; ++s) {
     slots_.push_back(std::make_unique<Slot>());
   }
-  free_participant_slots_.reserve(kParticipantSlots);
-  for (int s = worker_slots_ + kParticipantSlots - 1; s >= worker_slots_; --s) {
-    free_participant_slots_.push_back(s);
+  {
+    // No worker exists yet, but the free list is guarded state — keep
+    // the annotation honest rather than special-case construction.
+    const compat::LockGuard lock(lease_mutex_);
+    free_participant_slots_.reserve(kParticipantSlots);
+    for (int s = worker_slots_ + kParticipantSlots - 1; s >= worker_slots_;
+         --s) {
+      free_participant_slots_.push_back(s);
+    }
   }
   threads_.reserve(static_cast<std::size_t>(worker_slots_));
   for (int s = 0; s < worker_slots_; ++s) {
@@ -151,12 +167,12 @@ Scheduler::~Scheduler() {
   // destructor racing an in-flight job joins cleanly instead of
   // tearing the queues down under it.
   {
-    std::unique_lock<std::mutex> lock(drain_mutex_);
-    drained_.wait(lock, [this] { return live_groups_ == 0; });
+    compat::MutexLock lock(drain_mutex_);
+    while (live_groups_ != 0) drained_.wait(lock);
   }
   stop_.store(true, std::memory_order_seq_cst);
   {
-    const std::lock_guard<std::mutex> lock(idle_mutex_);
+    const compat::LockGuard lock(idle_mutex_);
   }
   idle_cv_.notify_all();
   for (auto& thread : threads_) thread.join();
@@ -180,7 +196,7 @@ void Scheduler::acquire_nodes(std::size_t count, int slot,
     }
   }
   if (out.size() == count) return;
-  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  const compat::LockGuard lock(pool_mutex_);
   while (!free_nodes_.empty() && out.size() < count) {
     out.push_back(free_nodes_.back());
     free_nodes_.pop_back();
@@ -206,7 +222,7 @@ void Scheduler::release_node(detail::TaskNode* node, int slot) noexcept {
       return;
     }
   }
-  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  const compat::LockGuard lock(pool_mutex_);
   free_nodes_.push_back(node);
 }
 
@@ -243,14 +259,16 @@ void Scheduler::run_tasks(std::span<const Task> tasks) {
 }
 
 Scheduler::Stats Scheduler::stats() const noexcept {
+  // Relaxed throughout: monitoring counters; the sum is an unsnapshot
+  // approximation by design and feeds no control decisions.
   Stats out;
   for (const auto& slot : slots_) {
-    out.executed += slot->executed.load(std::memory_order_relaxed);
-    out.stolen += slot->stolen.load(std::memory_order_relaxed);
+    out.executed += slot->executed.load(std::memory_order_relaxed);  // monitor
+    out.stolen += slot->stolen.load(std::memory_order_relaxed);      // monitor
   }
-  out.executed += slotless_executed_.load(std::memory_order_relaxed);
-  out.stolen += slotless_stolen_.load(std::memory_order_relaxed);
-  out.injected = injected_.load(std::memory_order_relaxed);
+  out.executed += slotless_executed_.load(std::memory_order_relaxed);  // monitor
+  out.stolen += slotless_stolen_.load(std::memory_order_relaxed);     // monitor
+  out.injected = injected_.load(std::memory_order_relaxed);           // monitor
   return out;
 }
 
@@ -266,7 +284,7 @@ int Scheduler::lease_slot_for_this_thread(bool& ref_taken) {
     return t_ref.slot;
   }
   if (t_ref.scheduler != nullptr) return -1;  // busy with another pool
-  const std::lock_guard<std::mutex> lock(lease_mutex_);
+  const compat::LockGuard lock(lease_mutex_);
   if (free_participant_slots_.empty()) return -1;
   const int slot = free_participant_slots_.back();
   free_participant_slots_.pop_back();
@@ -282,7 +300,7 @@ void Scheduler::release_slot(int slot) {
   if (t_ref.scheduler != this || t_ref.depth == 0) return;  // worker slot
   if (--t_ref.depth > 0) return;
   t_ref = {};
-  const std::lock_guard<std::mutex> lock(lease_mutex_);
+  const compat::LockGuard lock(lease_mutex_);
   free_participant_slots_.push_back(slot);
 }
 
@@ -290,9 +308,11 @@ void Scheduler::release_slot(int slot) {
 void Scheduler::submit_node(detail::TaskNode* node, int slot) {
   if (slot < 0 || !slots_[static_cast<std::size_t>(slot)]->deque.push(node)) {
     {
-      const std::lock_guard<std::mutex> lock(injector_mutex_);
+      const compat::LockGuard lock(injector_mutex_);
       injector_.push_back(node);
     }
+    // Relaxed: monitoring counter; the node was published under
+    // injector_mutex_ just above.
     injected_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -301,14 +321,14 @@ void Scheduler::notify_work() {
   work_epoch_.fetch_add(1, std::memory_order_seq_cst);
   if (idle_workers_.load(std::memory_order_seq_cst) > 0) {
     {
-      const std::lock_guard<std::mutex> lock(idle_mutex_);
+      const compat::LockGuard lock(idle_mutex_);
     }
     idle_cv_.notify_all();
   }
 }
 
 detail::TaskNode* Scheduler::take_injected(detail::GroupCore* group) {
-  const std::lock_guard<std::mutex> lock(injector_mutex_);
+  const compat::LockGuard lock(injector_mutex_);
   if (group == nullptr) {
     if (injector_.empty()) return nullptr;
     detail::TaskNode* node = injector_.front();
@@ -316,6 +336,8 @@ detail::TaskNode* Scheduler::take_injected(detail::GroupCore* group) {
     return node;
   }
   for (auto it = injector_.begin(); it != injector_.end(); ++it) {
+    // Relaxed: pointer-value comparison only; the node's contents were
+    // published under injector_mutex_, which we hold.
     if ((*it)->group.load(std::memory_order_relaxed) == group) {
       detail::TaskNode* node = *it;
       injector_.erase(it);
@@ -336,16 +358,20 @@ detail::TaskNode* Scheduler::find_any_work(int self) {
   const std::size_t n = slots_.size();
   const std::size_t start =
       self >= 0 ? static_cast<std::size_t>(self) + 1
+                // Relaxed: round-robin cursor; any interleaving of the
+                // increments yields a valid victim rotation.
                 : steal_rr_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t victim = (start + i) % n;
     if (self >= 0 && victim == static_cast<std::size_t>(self)) continue;
     if (slots_[victim]->deque.steal(node) == Claim::Ok) {
       if (self >= 0) {
+        // Relaxed: monitoring counters (stats()), nothing is ordered
+        // against them.
         slots_[static_cast<std::size_t>(self)]->stolen.fetch_add(
             1, std::memory_order_relaxed);
       } else {
-        slotless_stolen_.fetch_add(1, std::memory_order_relaxed);
+        slotless_stolen_.fetch_add(1, std::memory_order_relaxed);  // monitor
       }
       return node;
     }
@@ -357,6 +383,8 @@ detail::TaskNode* Scheduler::find_group_work(detail::GroupCore& group,
                                              int self, bool dig) {
   using Claim = WorkDeque<detail::TaskNode*>::Claim;
   const auto is_ours = [&group](detail::TaskNode* candidate) {
+    // Relaxed: pointer-value comparison only; the deque claim protocol
+    // re-validates the element before it is executed.
     return candidate->group.load(std::memory_order_relaxed) == &group;
   };
   detail::TaskNode* node = nullptr;
@@ -379,9 +407,10 @@ detail::TaskNode* Scheduler::find_group_work(detail::GroupCore& group,
       if (own.pop(node) == Claim::Ok) {
         if (is_ours(node)) return node;  // raced a thief; ours surfaced
         {
-          const std::lock_guard<std::mutex> lock(injector_mutex_);
+          const compat::LockGuard lock(injector_mutex_);
           injector_.push_back(node);
         }
+        // Relaxed: monitoring counter; publication was under the lock.
         injected_.fetch_add(1, std::memory_order_relaxed);
         notify_work();
       }
@@ -399,10 +428,11 @@ detail::TaskNode* Scheduler::find_group_work(detail::GroupCore& group,
           self >= 0 && victim == static_cast<std::size_t>(self);
       if (!from_self) {
         if (self >= 0) {
+          // Relaxed: monitoring counters (stats()) only.
           slots_[static_cast<std::size_t>(self)]->stolen.fetch_add(
               1, std::memory_order_relaxed);
         } else {
-          slotless_stolen_.fetch_add(1, std::memory_order_relaxed);
+          slotless_stolen_.fetch_add(1, std::memory_order_relaxed);  // monitor
         }
       }
       return node;
@@ -424,7 +454,7 @@ void Scheduler::flush_completions(CompletionBatch& batch) noexcept {
     // owner may have submitted again between our fetch_sub and here,
     // and a stale completed=true would let its wait() return with that
     // new task still running.
-    const std::lock_guard<std::mutex> lock(group->mutex);
+    const compat::LockGuard lock(group->mutex);
     if (group->pending.load(std::memory_order_seq_cst) == 0) {
       group->completed = true;
       group->done.notify_all();
@@ -434,20 +464,23 @@ void Scheduler::flush_completions(CompletionBatch& batch) noexcept {
 
 void Scheduler::execute(detail::TaskNode* node, int slot,
                         CompletionBatch& batch) {
+  // Relaxed: the claim that delivered `node` (seq_cst deque CAS or
+  // injector_mutex_) happened-before this read and carries the field.
   detail::GroupCore* group = node->group.load(std::memory_order_relaxed);
   if (batch.group != group) flush_completions(batch);
   try {
     fault::point("exec.task.run");
     node->run();
   } catch (...) {
-    const std::lock_guard<std::mutex> lock(group->mutex);
+    const compat::LockGuard lock(group->mutex);
     if (!group->error) group->error = std::current_exception();
   }
   if (slot >= 0) {
+    // Relaxed: monitoring counters (stats()) only.
     slots_[static_cast<std::size_t>(slot)]->executed.fetch_add(
         1, std::memory_order_relaxed);
   } else {
-    slotless_executed_.fetch_add(1, std::memory_order_relaxed);
+    slotless_executed_.fetch_add(1, std::memory_order_relaxed);  // monitor
   }
   release_node(node, slot);
   batch.group = group;
@@ -473,14 +506,14 @@ void Scheduler::wait_for_group(detail::GroupCore& group, int slot) {
     // behind a claim race, or buried in our own deque. The timeout
     // re-scans (with digging armed), bounding both without
     // busy-spinning.
-    std::unique_lock<std::mutex> lock(group.mutex);
+    compat::MutexLock lock(group.mutex);
     if (group.completed) break;
     group.done.wait_for(lock, 200us);
     dig = true;
   }
   flush_completions(batch);
-  std::unique_lock<std::mutex> lock(group.mutex);
-  group.done.wait(lock, [&group] { return group.completed; });
+  compat::MutexLock lock(group.mutex);
+  while (!group.completed) group.done.wait(lock);
 }
 
 void Scheduler::worker_loop(int slot) {
@@ -512,7 +545,7 @@ void Scheduler::worker_loop(int slot) {
     }
     idle_workers_.fetch_add(1, std::memory_order_seq_cst);
     {
-      std::unique_lock<std::mutex> lock(idle_mutex_);
+      compat::MutexLock lock(idle_mutex_);
       if (work_epoch_.load(std::memory_order_seq_cst) == epoch &&
           !stop_.load(std::memory_order_seq_cst)) {
         idle_cv_.wait_for(lock, backoff);

@@ -38,19 +38,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "compat/thread_safety.hpp"
 #include "exec/deque.hpp"
 
 namespace kc::exec {
@@ -76,10 +75,12 @@ namespace detail {
 /// wait-for-completion always precedes handle destruction.
 struct GroupCore {
   std::atomic<std::size_t> pending{0};  ///< submitted, not yet finished
-  std::mutex mutex;                     ///< guards completed/error/cv
-  std::condition_variable done;
-  bool completed = false;         ///< pending hit 0 (cleared by submit)
-  std::exception_ptr error;       ///< first task failure of the group
+  compat::Mutex mutex;                  ///< guards completed/error/cv
+  compat::CondVar done;
+  /// pending hit 0 (cleared by submit)
+  bool completed KC_GUARDED_BY(mutex) = false;
+  /// first task failure of the group
+  std::exception_ptr error KC_GUARDED_BY(mutex);
 };
 
 /// One schedulable unit: either a [lo, hi) chunk of a borrowed range
@@ -237,19 +238,24 @@ class Scheduler {
   [[nodiscard]] detail::TaskNode* find_any_work(int self);
   [[nodiscard]] detail::TaskNode* find_group_work(detail::GroupCore& group,
                                                   int self, bool dig = false);
-  [[nodiscard]] detail::TaskNode* take_injected(detail::GroupCore* group);
+  [[nodiscard]] detail::TaskNode* take_injected(detail::GroupCore* group)
+      KC_EXCLUDES(injector_mutex_);
   void acquire_nodes(std::size_t count, int slot,
-                     std::vector<detail::TaskNode*>& out);
-  void release_node(detail::TaskNode* node, int slot) noexcept;
-  void submit_node(detail::TaskNode* node, int slot);
-  void notify_work();
+                     std::vector<detail::TaskNode*>& out)
+      KC_EXCLUDES(pool_mutex_);
+  void release_node(detail::TaskNode* node, int slot) noexcept
+      KC_EXCLUDES(pool_mutex_);
+  void submit_node(detail::TaskNode* node, int slot)
+      KC_EXCLUDES(injector_mutex_);
+  void notify_work() KC_EXCLUDES(idle_mutex_);
   void wait_for_group(detail::GroupCore& group, int slot);
 
   // TaskGroup lease management (participant slots for non-worker
   // submitters; refcounted per thread so sibling groups share one
   // slot and may be destroyed in any order).
-  [[nodiscard]] int lease_slot_for_this_thread(bool& ref_taken);
-  void release_slot(int slot);
+  [[nodiscard]] int lease_slot_for_this_thread(bool& ref_taken)
+      KC_EXCLUDES(lease_mutex_);
+  void release_slot(int slot) KC_EXCLUDES(lease_mutex_);
 
   int concurrency_ = 1;
   std::vector<std::thread> threads_;
@@ -259,26 +265,27 @@ class Scheduler {
   std::atomic<std::uint64_t> slotless_stolen_{0};
   std::atomic<std::size_t> steal_rr_{0};  ///< slotless steal-sweep offset
 
-  std::mutex pool_mutex_;  ///< guards the node arena and free list
-  std::vector<std::unique_ptr<detail::TaskNode>> arena_;
-  std::vector<detail::TaskNode*> free_nodes_;
+  compat::Mutex pool_mutex_;  ///< guards the node arena and free list
+  std::vector<std::unique_ptr<detail::TaskNode>> arena_
+      KC_GUARDED_BY(pool_mutex_);
+  std::vector<detail::TaskNode*> free_nodes_ KC_GUARDED_BY(pool_mutex_);
 
-  std::mutex injector_mutex_;
-  std::deque<detail::TaskNode*> injector_;
+  compat::Mutex injector_mutex_;
+  std::deque<detail::TaskNode*> injector_ KC_GUARDED_BY(injector_mutex_);
   std::atomic<std::uint64_t> injected_{0};
 
-  std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
+  compat::Mutex idle_mutex_;
+  compat::CondVar idle_cv_;
   std::atomic<std::uint64_t> work_epoch_{0};
   std::atomic<int> idle_workers_{0};
   std::atomic<bool> stop_{false};
 
-  std::mutex lease_mutex_;
-  std::vector<int> free_participant_slots_;
+  compat::Mutex lease_mutex_;
+  std::vector<int> free_participant_slots_ KC_GUARDED_BY(lease_mutex_);
 
-  std::mutex drain_mutex_;
-  std::condition_variable drained_;
-  int live_groups_ = 0;  ///< guarded by drain_mutex_
+  compat::Mutex drain_mutex_;
+  compat::CondVar drained_;
+  int live_groups_ KC_GUARDED_BY(drain_mutex_) = 0;
 };
 
 }  // namespace kc::exec

@@ -6,10 +6,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "compat/thread_safety.hpp"
 #include "rng/rng.hpp"
 
 namespace kc::fault {
@@ -47,14 +47,18 @@ namespace {
 // a stale g_active pointer for a moment after disarm()/arm(), and an
 // immortal pointee turns that race into a benign "old plan answered"
 // instead of a use-after-free. Plans are tiny and re-armed rarely
-// (tests, process start), so the leak is bounded and deliberate.
-std::mutex& registry_mutex() {
-  static std::mutex m;
-  return m;
-}
-std::vector<std::unique_ptr<const ArmedState>>& immortal_states() {
-  static auto* states = new std::vector<std::unique_ptr<const ArmedState>>();
-  return *states;
+// (tests, process start), so the leak is bounded and deliberate. The
+// registry itself is heap-allocated and never freed for the same
+// reason: a hit during static destruction must not touch a destroyed
+// mutex.
+struct Registry {
+  compat::Mutex mutex;  ///< serializes arm()/disarm() publications
+  std::vector<std::unique_ptr<const ArmedState>> states
+      KC_GUARDED_BY(mutex);
+};
+Registry& registry() {
+  static auto* instance = new Registry();
+  return *instance;
 }
 
 [[nodiscard]] std::uint64_t hash_site_name(std::string_view site) noexcept {
@@ -90,6 +94,8 @@ Outcome hit_slow(const ArmedState* state, std::string_view site, bool keyed,
   if (keyed && plan.p > 0.0) {
     fire = u01(state->seed, armed->site_hash, key) < plan.p;
   } else {
+    // Relaxed: a pure hit counter — each thread gets a unique n from
+    // the atomic RMW; no other data is published through it.
     const std::uint64_t n =
         armed->hits.fetch_add(1, std::memory_order_relaxed) + 1;
     if (plan.nth != 0 && n == plan.nth) fire = true;
@@ -102,11 +108,13 @@ Outcome hit_slow(const ArmedState* state, std::string_view site, bool keyed,
 
   // times= caps total fires; the cap check must be atomic with the
   // fire accounting or concurrent hits could both fire past it.
+  // Relaxed CAS loop: the cap is enforced by the RMW's atomicity
+  // alone; no payload rides on the counter.
   std::uint64_t fired = armed->fires.load(std::memory_order_relaxed);
   do {
     if (fired >= plan.times) return {};
-  } while (!armed->fires.compare_exchange_weak(fired, fired + 1,
-                                               std::memory_order_relaxed));
+  } while (!armed->fires.compare_exchange_weak(
+      fired, fired + 1, std::memory_order_relaxed));  // see above
 
   if (plan.stall_ms > 0) return {Action::Stall, plan.stall_ms};
   return {Action::Fail, 0};
@@ -142,22 +150,29 @@ void arm(const FaultPlan& plan) {
     armed->site_hash = detail::hash_site_name(site.site);
     state->sites.push_back(std::move(armed));
   }
-  const std::lock_guard<std::mutex> lock(detail::registry_mutex());
-  detail::immortal_states().push_back(std::move(state));
-  detail::g_active.store(detail::immortal_states().back().get(),
-                         std::memory_order_release);
+  detail::Registry& reg = detail::registry();
+  const compat::LockGuard lock(reg.mutex);
+  reg.states.push_back(std::move(state));
+  // Release: a hit thread that sees the new pointer must also see the
+  // fully-built ArmedState it points at.
+  detail::g_active.store(reg.states.back().get(), std::memory_order_release);
 }
 
 void disarm() noexcept {
+  // Release for symmetry with arm(); nullptr carries no payload, and
+  // in-flight hits may finish against the old (immortal) plan anyway.
   detail::g_active.store(nullptr, std::memory_order_release);
 }
 
 SiteStats stats(std::string_view site) noexcept {
+  // Acquire pairs with arm()'s release so the ArmedState this pointer
+  // targets is fully visible before find() walks it.
   const detail::ArmedState* state =
       detail::g_active.load(std::memory_order_acquire);
   if (state == nullptr) return {};
   const detail::ArmedSite* armed = state->find(site);
   if (armed == nullptr) return {};
+  // Relaxed: monitoring snapshot of the counters.
   return {armed->hits.load(std::memory_order_relaxed),
           armed->fires.load(std::memory_order_relaxed)};
 }

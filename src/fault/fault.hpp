@@ -38,8 +38,7 @@
 // identical reports on every backend.
 //
 // Overhead when disarmed: every site boils down to one acquire atomic
-// load (free on x86) and a predictable branch (the plan pointer is
-// null). No site
+// load (free on x86) and a predictable branch (the pointer is null). No site
 // sits inside a kernel inner loop; the hottest placements are per
 // scheduled task and per codec record, far off the ns/pair scan paths.
 #pragma once
@@ -111,10 +110,7 @@ namespace detail {
 struct ArmedState;  // registry internals (fault.cpp)
 
 /// The armed plan, or null. Acquire load on the hot path (pairs with
-/// arm()'s release store), so a thread that observes the pointer also
-/// observes the fully-built ArmedState behind it — relaxed would let a
-/// weakly-ordered machine dereference before the pointee's writes are
-/// visible. A hit that races an arm()/disarm() may still use either
+/// arm()'s release): a hit that races an arm()/disarm() may use either
 /// state, which is fine — plans target steady-state runs, not the
 /// arming instant. The pointee is immortal (arena-kept until process
 /// exit), so a stale pointer is never dangling.
@@ -129,6 +125,8 @@ void point_slow(const ArmedState* state, std::string_view site,
 
 /// True while a plan is armed (one relaxed load).
 [[nodiscard]] inline bool armed() noexcept {
+  // Relaxed is sound *here*: the pointer is tested, never
+  // dereferenced, and callers only use the bool as a hint.
   return detail::g_active.load(std::memory_order_relaxed) != nullptr;
 }
 
@@ -136,6 +134,10 @@ void point_slow(const ArmedState* state, std::string_view site,
 /// Free when disarmed. Counter-sequenced: p-decisions hash the site's
 /// global hit index.
 [[nodiscard]] inline Outcome hit(std::string_view site) noexcept {
+  // Acquire pairs with arm()'s release store: hit_slow dereferences
+  // the pointer, so the ArmedState's fields must be visible first.
+  // (Free on x86; on weaker machines a plain load could see the
+  // pointer before the pointee.)
   const detail::ArmedState* state =
       detail::g_active.load(std::memory_order_acquire);
   if (state == nullptr) return {};
@@ -147,6 +149,7 @@ void point_slow(const ArmedState* state, std::string_view site,
 /// nth/every triggers still consume the global counter.
 [[nodiscard]] inline Outcome hit(std::string_view site,
                                  std::uint64_t key) noexcept {
+  // Acquire: see the note on hit(site) above.
   const detail::ArmedState* state =
       detail::g_active.load(std::memory_order_acquire);
   if (state == nullptr) return {};
@@ -162,14 +165,16 @@ void point_slow(const ArmedState* state, std::string_view site,
 
 /// The standard injection site: throws InjectedFault on a fail fire,
 /// sleeps on a stall fire, does nothing otherwise (and nothing at all
-/// beyond one acquire load when disarmed).
+/// beyond one uncontended load when disarmed).
 inline void point(std::string_view site) {
+  // Acquire: see the note on hit(site) above.
   const detail::ArmedState* state =
       detail::g_active.load(std::memory_order_acquire);
   if (state == nullptr) return;
   detail::point_slow(state, site, nullptr);
 }
 inline void point(std::string_view site, std::uint64_t key) {
+  // Acquire: see the note on hit(site) above.
   const detail::ArmedState* state =
       detail::g_active.load(std::memory_order_acquire);
   if (state == nullptr) return;

@@ -33,12 +33,16 @@ namespace {
   const exec::ExecutionBackend::RangeBody gated = [&](std::size_t lo,
                                                       std::size_t hi) {
     for (std::size_t pos = lo; pos < hi;) {
+      // Relaxed stop protocol: the flag carries a tiny enum with no
+      // dependent data, and the backend's join is the real barrier
+      // before the final read — staleness only costs one gate chunk.
       if (stop.load(std::memory_order_relaxed) != 0) return;
       const std::size_t end = std::min(hi, pos + gate);
       const exec::StopReason reason =
           ctx.charge(static_cast<std::uint64_t>(end - pos) * evals_per_item);
       if (reason != exec::StopReason::None) {
-        stop.store(static_cast<int>(reason), std::memory_order_relaxed);
+        stop.store(static_cast<int>(reason),
+                   std::memory_order_relaxed);  // see stop note above
         return;
       }
       run(pos, end);
@@ -50,6 +54,8 @@ namespace {
   } else {
     gated(0, n);
   }
+  // Relaxed: parallel_for joined (or the lambda ran inline), so every
+  // store to `stop` already happened-before this read.
   return static_cast<exec::StopReason>(stop.load(std::memory_order_relaxed));
 }
 
@@ -271,6 +277,8 @@ void DistanceOracle::pruned_scan(std::span<const index_t> centers,
           return true;
         }
       }
+      // Relaxed: same stop protocol as gated_scan — the fan-out join
+      // orders the flag before the final read.
       stop.store(static_cast<int>(reason), std::memory_order_relaxed);
       return false;
     };
@@ -375,7 +383,8 @@ void DistanceOracle::pruned_scan(std::span<const index_t> centers,
         since_poll = 0;
         const exec::StopReason reason = ctx_->check();
         if (reason != exec::StopReason::None) {
-          stop.store(static_cast<int>(reason), std::memory_order_relaxed);
+          stop.store(static_cast<int>(reason),
+                     std::memory_order_relaxed);  // see stop note above
           stopped = true;
         }
       }
@@ -383,6 +392,8 @@ void DistanceOracle::pruned_scan(std::span<const index_t> centers,
     if (gate && credit > 0 && ctx_->budget != nullptr) {
       ctx_->budget->credit(credit);
     }
+    // Relaxed: per-chunk tallies merged after the join below; only the
+    // sum matters, not the order of the additions.
     evals_total.fetch_add(chunk_evals, std::memory_order_relaxed);
     pruned_total.fetch_add(chunk_pruned, std::memory_order_relaxed);
   };
@@ -403,12 +414,14 @@ void DistanceOracle::pruned_scan(std::span<const index_t> centers,
   // Counters reflect the split that actually happened: evaluated pairs
   // plus pruned pairs sum to the n*k an unpruned scan would charge
   // (when the scan runs to completion).
+  // Relaxed loads: the fan-out joined above, so all chunk stores
+  // happened-before these reads.
   counters::add_distance_evals(evals_total.load(std::memory_order_relaxed),
                                d);
   counters::add_pruned_pairs(pruned_total.load(std::memory_order_relaxed));
 
-  const auto reason =
-      static_cast<exec::StopReason>(stop.load(std::memory_order_relaxed));
+  const auto reason = static_cast<exec::StopReason>(
+      stop.load(std::memory_order_relaxed));  // joined above
   if (reason != exec::StopReason::None) {
     exec::ChunkContext::raise(reason, where);
   }

@@ -1,5 +1,13 @@
 #include "svc/codec.hpp"
 
+// GCC 12 miscompiles the -Wrestrict bounds of short string-literal
+// assignments inlined through libstdc++'s char_traits (GCC PR105329).
+// False positive, suppressed for this TU only; Clang and later GCCs
+// are unaffected.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ == 12
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -116,8 +124,8 @@ struct OptionReader {
   const Json& object;
   std::vector<bool> consumed;
 
-  explicit OptionReader(const Json& object)
-      : object(object), consumed(object.object.size(), false) {}
+  explicit OptionReader(const Json& options)
+      : object(options), consumed(options.object.size(), false) {}
 
   [[nodiscard]] const Json* take(std::string_view key) {
     for (std::size_t i = 0; i < object.object.size(); ++i) {

@@ -10,12 +10,12 @@
 // remains before reporting exhaustion.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "compat/thread_safety.hpp"
 
 namespace kc::svc {
 
@@ -30,10 +30,9 @@ class BoundedQueue {
   /// races an in-flight waiter: every blocked producer wakes, refuses,
   /// and its by-value `item` is destroyed with the call. Callers that
   /// need the item back on refusal use try_push.
-  bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+  bool push(T item) KC_EXCLUDES(mutex_) {
+    compat::MutexLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -46,9 +45,9 @@ class BoundedQueue {
   /// and may retry, reroute, or settle it. The move happens only after
   /// every refusal check has passed, so there is no path that both
   /// refuses and consumes.
-  bool try_push(T& item) {
+  bool try_push(T& item) KC_EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const compat::LockGuard lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -57,8 +56,8 @@ class BoundedQueue {
   }
 
   /// Non-blocking pop: nullopt when currently empty.
-  std::optional<T> try_pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+  std::optional<T> try_pop() KC_EXCLUDES(mutex_) {
+    compat::MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -69,9 +68,9 @@ class BoundedQueue {
 
   /// Blocks until an item is available or the queue is closed *and*
   /// drained (then nullopt).
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() KC_EXCLUDES(mutex_) {
+    compat::MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -81,23 +80,23 @@ class BoundedQueue {
   }
 
   /// No further pushes succeed; pending items remain poppable.
-  void close() {
+  void close() KC_EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const compat::LockGuard lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t size() const KC_EXCLUDES(mutex_) {
+    const compat::LockGuard lock(mutex_);
     return items_.size();
   }
 
   /// True once close() ran (pushes refuse; pop drains the remainder).
-  [[nodiscard]] bool closed() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] bool closed() const KC_EXCLUDES(mutex_) {
+    const compat::LockGuard lock(mutex_);
     return closed_;
   }
 
@@ -105,11 +104,11 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable compat::Mutex mutex_;
+  compat::CondVar not_full_;
+  compat::CondVar not_empty_;
+  std::deque<T> items_ KC_GUARDED_BY(mutex_);
+  bool closed_ KC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace kc::svc

@@ -70,14 +70,14 @@ ServiceLoop::ServiceLoop(const ServiceConfig& config,
 ServiceLoop::~ServiceLoop() {
   queue_.close();
   {
-    const std::lock_guard<std::mutex> lock(deadline_mutex_);
+    const compat::LockGuard lock(deadline_mutex_);
     deadline_stop_ = true;
   }
   deadline_cv_.notify_all();
   deadline_thread_.join();
   if (watchdog_thread_.joinable()) {
     {
-      const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      const compat::LockGuard lock(watchdog_mutex_);
       watchdog_stop_ = true;
     }
     watchdog_cv_.notify_all();
@@ -87,34 +87,37 @@ ServiceLoop::~ServiceLoop() {
 }
 
 void ServiceLoop::close() {
+  // Relaxed: a pure go/no-go flag with no payload; queue_.close() has
+  // its own mutex and is what workers actually synchronize on.
   shutting_down_.store(true, std::memory_order_relaxed);
   queue_.close();
 }
 
 void ServiceLoop::cancel_all() {
+  // Relaxed: same go/no-go argument as close() above.
   shutting_down_.store(true, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const compat::LockGuard lock(state_mutex_);
   for (auto& [serial, token] : active_tokens_) token.request_cancel();
 }
 
 ServiceLoop::Stats ServiceLoop::stats() const {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const compat::LockGuard lock(state_mutex_);
   return stats_;
 }
 
 std::size_t ServiceLoop::deadline_entries() const {
-  const std::lock_guard<std::mutex> lock(deadline_mutex_);
+  const compat::LockGuard lock(deadline_mutex_);
   return deadlines_.size();
 }
 
 std::size_t ServiceLoop::watchdog_entries() const {
-  const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  const compat::LockGuard lock(watchdog_mutex_);
   return watchdog_.size();
 }
 
 std::shared_ptr<exec::EvalBudget> ServiceLoop::tenant_budget(
     std::string_view tenant) const {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const compat::LockGuard lock(state_mutex_);
   const auto it = tenants_.find(tenant);
   return it != tenants_.end() ? it->second : nullptr;
 }
@@ -123,14 +126,14 @@ void ServiceLoop::arm_deadline(Clock::time_point when,
                                CancellationToken token,
                                std::shared_ptr<std::atomic<bool>> fired) {
   {
-    const std::lock_guard<std::mutex> lock(deadline_mutex_);
+    const compat::LockGuard lock(deadline_mutex_);
     deadlines_.emplace(when, DeadlineEntry{std::move(token), std::move(fired)});
   }
   deadline_cv_.notify_all();
 }
 
 void ServiceLoop::deadline_loop() {
-  std::unique_lock<std::mutex> lock(deadline_mutex_);
+  compat::MutexLock lock(deadline_mutex_);
   for (;;) {
     if (deadline_stop_) return;
     if (deadlines_.empty()) {
@@ -147,6 +150,8 @@ void ServiceLoop::deadline_loop() {
     while (!deadlines_.empty() && deadlines_.begin()->first <= Clock::now()) {
       DeadlineEntry entry = std::move(deadlines_.begin()->second);
       deadlines_.erase(deadlines_.begin());
+      // Relaxed: the flag only biases the settle-path error message
+      // (deadline vs generic cancel); both readers tolerate staleness.
       entry.fired->store(true, std::memory_order_relaxed);
       entry.token.request_cancel();
     }
@@ -158,7 +163,7 @@ std::optional<std::string> ServiceLoop::submit(std::string_view line,
                                                CancellationToken cancel) {
   const auto reject = [this](std::string report) {
     {
-      const std::lock_guard<std::mutex> lock(state_mutex_);
+      const compat::LockGuard lock(state_mutex_);
       ++stats_.rejected;
     }
     return report;
@@ -209,7 +214,7 @@ std::optional<std::string> ServiceLoop::submit(std::string_view line,
         item->wire.request.options = {};
       }
       if (degrade->force_prune) item->wire.request.prune = PruneMode::On;
-      const std::lock_guard<std::mutex> lock(state_mutex_);
+      const compat::LockGuard lock(state_mutex_);
       ++stats_.degraded;
     }
   }
@@ -241,7 +246,7 @@ std::optional<std::string> ServiceLoop::submit(std::string_view line,
     std::shared_ptr<exec::EvalBudget> tenant;
     bool table_full = false;
     {
-      const std::lock_guard<std::mutex> lock(state_mutex_);
+      const compat::LockGuard lock(state_mutex_);
       const auto it = tenants_.find(item->wire.tenant);
       if (it != tenants_.end()) {
         tenant = it->second;
@@ -305,7 +310,7 @@ std::optional<std::string> ServiceLoop::submit(std::string_view line,
   }
 
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const compat::LockGuard lock(state_mutex_);
     item->serial = next_serial_++;
     active_tokens_.emplace(item->serial, cancel);
   }
@@ -322,7 +327,7 @@ std::optional<std::string> ServiceLoop::submit(std::string_view line,
   const Clock::time_point deadline_at = item->deadline_at;
   const auto unadmit = [&] {
     retire_deadline(deadline_at, deadline_fired);
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const compat::LockGuard lock(state_mutex_);
     active_tokens_.erase(serial);
     if (reserved_from != nullptr) reserved_from->credit(reserved);
   };
@@ -346,7 +351,7 @@ std::optional<std::string> ServiceLoop::submit(std::string_view line,
     }
   }
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const compat::LockGuard lock(state_mutex_);
     ++stats_.admitted;
   }
   return std::nullopt;
@@ -373,10 +378,13 @@ bool ServiceLoop::attempt_solve(Admitted& item, int attempt,
     status = std::string(api::to_string(e.kind()));
     message = e.what();
     if (e.kind() == api::ErrorKind::Cancelled) {
+      // Relaxed loads: the flags only pick the error label; the cancel
+      // itself was delivered through the token (see deadline_loop).
       if (item.deadline_fired != nullptr &&
           item.deadline_fired->load(std::memory_order_relaxed)) {
         status = "deadline-exceeded";
       } else if (item.watchdog_fired != nullptr &&
+                 // Relaxed: label-selection only, as above.
                  item.watchdog_fired->load(std::memory_order_relaxed)) {
         status = "internal-error";
         message = "watchdog: no budget progress for " +
@@ -397,7 +405,7 @@ bool ServiceLoop::attempt_solve(Admitted& item, int attempt,
 
 bool ServiceLoop::take_retry_token(const std::string& tenant) {
   if (config_.retry.tenant_retry_budget == 0) return true;
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const compat::LockGuard lock(state_mutex_);
   std::uint64_t& used = tenant_retries_[tenant];
   if (used >= config_.retry.tenant_retry_budget) return false;
   ++used;
@@ -423,6 +431,7 @@ void ServiceLoop::execute(Admitted& item) {
     // Deadline + retry interplay: a fired deadline settles the request
     // as deadline-exceeded after the current attempt, whatever that
     // attempt's own failure was, and no further attempt starts.
+    // Relaxed: label-selection flag only, as in execute() above.
     if (item.deadline_fired != nullptr &&
         item.deadline_fired->load(std::memory_order_relaxed)) {
       item.line = write_error(item.wire.id, item.wire.tenant,
@@ -442,13 +451,14 @@ void ServiceLoop::execute(Admitted& item) {
       break;
     }
     {
-      const std::lock_guard<std::mutex> lock(state_mutex_);
+      const compat::LockGuard lock(state_mutex_);
       ++stats_.retries;
     }
     // Backoff, then check the deadline again: a backoff that crossed
     // it must not start another attempt.
     std::this_thread::sleep_for(
         backoff_delay(config_.retry, item.serial, attempt));
+    // Relaxed: label-selection flag only, as in execute() above.
     if (item.deadline_fired != nullptr &&
         item.deadline_fired->load(std::memory_order_relaxed)) {
       item.line = write_error(item.wire.id, item.wire.tenant,
@@ -461,14 +471,14 @@ void ServiceLoop::execute(Admitted& item) {
     }
   }
   watchdog_unregister(item.serial);
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const compat::LockGuard lock(state_mutex_);
   ++(ok ? stats_.completed : stats_.failed);
 }
 
 void ServiceLoop::retire_deadline(
     Clock::time_point when, const std::shared_ptr<std::atomic<bool>>& fired) {
   if (fired == nullptr) return;
-  const std::lock_guard<std::mutex> lock(deadline_mutex_);
+  const compat::LockGuard lock(deadline_mutex_);
   const auto [lo, hi] = deadlines_.equal_range(when);
   for (auto it = lo; it != hi; ++it) {
     if (it->second.fired == fired) {
@@ -482,7 +492,7 @@ void ServiceLoop::settle(Admitted& item) {
   // Retire the watcher entry: a settled request's token must not be
   // retained (or fired) for the rest of its deadline horizon.
   retire_deadline(item.deadline_at, item.deadline_fired);
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const compat::LockGuard lock(state_mutex_);
   active_tokens_.erase(item.serial);
   if (item.tenant_budget != nullptr && item.budget != nullptr) {
     // Refund what the reservation did not spend; consumed() can never
@@ -502,7 +512,7 @@ void ServiceLoop::watchdog_register(Admitted& item) {
   entry.last_consumed = item.budget->consumed();
   entry.last_progress = Clock::now();
   {
-    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    const compat::LockGuard lock(watchdog_mutex_);
     watchdog_.emplace(item.serial, std::move(entry));
   }
   watchdog_cv_.notify_all();
@@ -510,7 +520,7 @@ void ServiceLoop::watchdog_register(Admitted& item) {
 
 void ServiceLoop::watchdog_unregister(std::uint64_t serial) {
   if (config_.watchdog_ms == 0) return;
-  const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  const compat::LockGuard lock(watchdog_mutex_);
   watchdog_.erase(serial);
 }
 
@@ -519,7 +529,7 @@ void ServiceLoop::watchdog_loop() {
   const auto tick =
       std::max(std::chrono::milliseconds(1),
                std::chrono::milliseconds(config_.watchdog_ms / 4));
-  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  compat::MutexLock lock(watchdog_mutex_);
   for (;;) {
     if (watchdog_stop_) return;
     if (watchdog_.empty()) {
@@ -536,6 +546,8 @@ void ServiceLoop::watchdog_loop() {
         entry.last_progress = now;
         continue;
       }
+      // Relaxed flag: the only consequence of staleness is one extra
+      // (idempotent) request_cancel on an already-settling request.
       if (now - entry.last_progress >= horizon &&
           !entry.fired->load(std::memory_order_relaxed)) {
         // Stuck: the odometer sat still for the whole horizon. Cancel
@@ -544,7 +556,7 @@ void ServiceLoop::watchdog_loop() {
         // because `fired` is set first.
         entry.fired->store(true, std::memory_order_relaxed);
         entry.token.request_cancel();
-        const std::lock_guard<std::mutex> state_lock(state_mutex_);
+        const compat::LockGuard state_lock(state_mutex_);
         ++stats_.watchdog_fired;
       }
     }
@@ -574,7 +586,7 @@ void ServiceLoop::run() {
         flight.item->line =
             write_error(flight.item->wire.id, flight.item->wire.tenant,
                         "internal-error", e.what());
-        const std::lock_guard<std::mutex> lock(state_mutex_);
+        const compat::LockGuard lock(state_mutex_);
         ++stats_.failed;
       }
     }

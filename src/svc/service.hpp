@@ -29,12 +29,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -42,6 +40,7 @@
 #include <vector>
 
 #include "api/solver.hpp"
+#include "compat/thread_safety.hpp"
 #include "exec/backend.hpp"
 #include "exec/chunk_context.hpp"
 #include "svc/codec.hpp"
@@ -176,7 +175,8 @@ class ServiceLoop {
   /// so deadlines and cancel_all() always have a handle.
   [[nodiscard]] std::optional<std::string> submit(
       std::string_view line, EmitFn emit, bool blocking = true,
-      CancellationToken cancel = {});
+      CancellationToken cancel = {})
+      KC_EXCLUDES(state_mutex_, deadline_mutex_);
 
   /// Ends admission: submit() refuses, run() returns once the queue
   /// and the in-flight window drain.
@@ -184,11 +184,11 @@ class ServiceLoop {
 
   /// Fires every admitted-but-unfinished request's token (shutdown /
   /// global disconnect). Does not close admission by itself.
-  void cancel_all();
+  void cancel_all() KC_EXCLUDES(state_mutex_);
 
   /// Consumer loop: executes admitted requests until close() and the
   /// backlog drains. Call from exactly one thread.
-  void run();
+  void run() KC_EXCLUDES(state_mutex_, deadline_mutex_, watchdog_mutex_);
 
   struct Stats {
     std::uint64_t admitted = 0;
@@ -199,14 +199,16 @@ class ServiceLoop {
     std::uint64_t degraded = 0;   ///< requests admitted degraded
     std::uint64_t watchdog_fired = 0;  ///< requests the watchdog killed
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const KC_EXCLUDES(state_mutex_);
 
   /// Armed deadline-watcher entries (tests assert none leak after a
   /// drain).
-  [[nodiscard]] std::size_t deadline_entries() const;
+  [[nodiscard]] std::size_t deadline_entries() const
+      KC_EXCLUDES(deadline_mutex_);
   /// Requests currently tracked by the watchdog (tests assert none
   /// leak after a drain).
-  [[nodiscard]] std::size_t watchdog_entries() const;
+  [[nodiscard]] std::size_t watchdog_entries() const
+      KC_EXCLUDES(watchdog_mutex_);
 
   [[nodiscard]] const std::shared_ptr<exec::ExecutionBackend>& backend()
       const noexcept {
@@ -216,7 +218,7 @@ class ServiceLoop {
   /// The tenant's budget odometer (null when tenant_budget == 0 or the
   /// tenant has not been seen yet).
   [[nodiscard]] std::shared_ptr<exec::EvalBudget> tenant_budget(
-      std::string_view tenant) const;
+      std::string_view tenant) const KC_EXCLUDES(state_mutex_);
 
  private:
   struct Admitted {
@@ -239,27 +241,30 @@ class ServiceLoop {
     std::shared_ptr<std::atomic<bool>> watchdog_fired;
   };
 
-  void execute(Admitted& item);
-  void settle(Admitted& item);
+  void execute(Admitted& item)
+      KC_EXCLUDES(state_mutex_, watchdog_mutex_);
+  void settle(Admitted& item) KC_EXCLUDES(state_mutex_, deadline_mutex_);
   /// One solve attempt; returns true on success, sets
   /// `status`/`message` and `retryable` otherwise.
   bool attempt_solve(Admitted& item, int attempt, std::string& status,
                      std::string& message, bool& retryable);
   /// Consumes one unit of the tenant's retry budget; false when
   /// exhausted.
-  bool take_retry_token(const std::string& tenant);
-  void watchdog_register(Admitted& item);
-  void watchdog_unregister(std::uint64_t serial);
-  void watchdog_loop();
+  bool take_retry_token(const std::string& tenant) KC_EXCLUDES(state_mutex_);
+  void watchdog_register(Admitted& item) KC_EXCLUDES(watchdog_mutex_);
+  void watchdog_unregister(std::uint64_t serial) KC_EXCLUDES(watchdog_mutex_);
+  void watchdog_loop() KC_EXCLUDES(watchdog_mutex_, state_mutex_);
   void arm_deadline(std::chrono::steady_clock::time_point when,
                     CancellationToken token,
-                    std::shared_ptr<std::atomic<bool>> fired);
+                    std::shared_ptr<std::atomic<bool>> fired)
+      KC_EXCLUDES(deadline_mutex_);
   /// Removes the watcher entry identified by (when, fired), if still
   /// armed; called from settle() and from the admission rollback so no
   /// path retains a dead request's token for its deadline horizon.
   void retire_deadline(std::chrono::steady_clock::time_point when,
-                       const std::shared_ptr<std::atomic<bool>>& fired);
-  void deadline_loop();
+                       const std::shared_ptr<std::atomic<bool>>& fired)
+      KC_EXCLUDES(deadline_mutex_);
+  void deadline_loop() KC_EXCLUDES(deadline_mutex_);
 
   ServiceConfig config_;
   std::shared_ptr<exec::ExecutionBackend> backend_;
@@ -272,25 +277,30 @@ class ServiceLoop {
   /// destructor).
   bool armed_fault_plan_ = false;
 
-  mutable std::mutex state_mutex_;
+  mutable compat::Mutex state_mutex_;
   std::map<std::string, std::shared_ptr<exec::EvalBudget>, std::less<>>
-      tenants_;
+      tenants_ KC_GUARDED_BY(state_mutex_);
   /// Retry tokens each tenant has consumed (only grown when a
   /// tenant_retry_budget is configured).
-  std::map<std::string, std::uint64_t, std::less<>> tenant_retries_;
-  std::map<std::uint64_t, CancellationToken> active_tokens_;
-  std::uint64_t next_serial_ = 0;
-  Stats stats_;
+  std::map<std::string, std::uint64_t, std::less<>> tenant_retries_
+      KC_GUARDED_BY(state_mutex_);
+  std::map<std::uint64_t, CancellationToken> active_tokens_
+      KC_GUARDED_BY(state_mutex_);
+  std::uint64_t next_serial_ KC_GUARDED_BY(state_mutex_) = 0;
+  Stats stats_ KC_GUARDED_BY(state_mutex_);
 
   struct DeadlineEntry {
     CancellationToken token;
     std::shared_ptr<std::atomic<bool>> fired;
   };
-  mutable std::mutex deadline_mutex_;
-  std::condition_variable deadline_cv_;
+  mutable compat::Mutex deadline_mutex_;
+  compat::CondVar deadline_cv_;
   std::multimap<std::chrono::steady_clock::time_point, DeadlineEntry>
-      deadlines_;
-  bool deadline_stop_ = false;
+      deadlines_ KC_GUARDED_BY(deadline_mutex_);
+  bool deadline_stop_ KC_GUARDED_BY(deadline_mutex_) = false;
+  // Started/joined only by the owning thread in run(); never touched
+  // by the workers it watches.
+  // kc-lint: allow(guarded-by) owner-thread-only lifecycle handle
   std::thread deadline_thread_;
 
   /// Watchdog state: one entry per executing attempt, keyed by the
@@ -302,10 +312,14 @@ class ServiceLoop {
     std::uint64_t last_consumed = 0;
     std::chrono::steady_clock::time_point last_progress;
   };
-  mutable std::mutex watchdog_mutex_;
-  std::condition_variable watchdog_cv_;
-  std::map<std::uint64_t, WatchdogEntry> watchdog_;
-  bool watchdog_stop_ = false;
+  mutable compat::Mutex watchdog_mutex_;
+  compat::CondVar watchdog_cv_;
+  std::map<std::uint64_t, WatchdogEntry> watchdog_
+      KC_GUARDED_BY(watchdog_mutex_);
+  bool watchdog_stop_ KC_GUARDED_BY(watchdog_mutex_) = false;
+  // Started/joined only by the owning thread in run(); never touched
+  // by the workers it watches.
+  // kc-lint: allow(guarded-by) owner-thread-only lifecycle handle
   std::thread watchdog_thread_;
 };
 

@@ -3,6 +3,16 @@
 // (a multi-round run must stop within one round of the request), and
 // bit-identity between Solver output and the direct free-function path
 // on every available execution backend.
+
+// GCC 12 under -fsanitize=address,undefined reports the disengaged
+// std::optional<std::vector<int>> inside MrgOptions as
+// "maybe-uninitialized" when a request is built by value (GCC
+// PR80635 family). False positive, suppressed for this TU; later GCCs
+// and Clang are unaffected.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ == 12
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -342,7 +352,9 @@ TEST(ApiSolver, MrgDuProgressReportsJobCumulativeEvals) {
   ASSERT_GE(events.size(), 4u);
   for (std::size_t i = 0; i < events.size(); ++i) {
     EXPECT_EQ(events[i].algorithm, "mrg-du");
-    if (i > 0) EXPECT_GT(events[i].dist_evals, events[i - 1].dist_evals);
+    if (i > 0) {
+      EXPECT_GT(events[i].dist_evals, events[i - 1].dist_evals);
+    }
   }
   EXPECT_LE(events.back().dist_evals, report.dist_evals);
 }

@@ -197,8 +197,9 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, GatedScans,
                          ::testing::Values(exec::BackendKind::Sequential,
                                            exec::BackendKind::OpenMP,
                                            exec::BackendKind::ThreadPool),
-                         [](const auto& info) {
-                           return std::string(exec::to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(
+                               exec::to_string(param_info.param));
                          });
 
 // ------------------------------------------------- facade acceptance bar

@@ -484,8 +484,8 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, BackendParam,
                          ::testing::Values(BackendKind::Sequential,
                                            BackendKind::OpenMP,
                                            BackendKind::ThreadPool),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 }  // namespace

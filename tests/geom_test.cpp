@@ -156,8 +156,8 @@ TEST_P(MetricAxioms, ReportedRoundTrips) {
 INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxioms,
                          ::testing::Values(MetricKind::L2, MetricKind::L1,
                                            MetricKind::Linf),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 TEST(Distance, L2ComparableIsSquaredEuclidean) {

@@ -9,6 +9,12 @@
 namespace kc::harness {
 namespace {
 
+PlotSpec titled(std::string title) {
+  PlotSpec spec;
+  spec.title = std::move(title);
+  return spec;
+}
+
 class GnuplotTest : public ::testing::Test {
  protected:
   std::filesystem::path base_ =
@@ -29,7 +35,7 @@ TEST_F(GnuplotTest, WritesDatWithHeaderAndRows) {
   Table t({"k", "MRG (s)", "GON (s)"});
   t.add_row({"2", "0.001", "0.01"});
   t.add_row({"100", "0.003", "0.07"});
-  write_gnuplot(t, base_.string(), PlotSpec{.title = "fig"});
+  write_gnuplot(t, base_.string(), titled("fig"));
   const std::string dat = slurp(base_.string() + ".dat");
   EXPECT_NE(dat.find("# k MRG (s) GON (s)"), std::string::npos);
   EXPECT_NE(dat.find("2 0.001 0.01"), std::string::npos);
@@ -39,7 +45,7 @@ TEST_F(GnuplotTest, WritesDatWithHeaderAndRows) {
 TEST_F(GnuplotTest, NonNumericCellsBecomeNan) {
   Table t({"k", "value", "sampled?"});
   t.add_row({"2", "1.5", "yes"});
-  write_gnuplot(t, base_.string(), PlotSpec{.title = "fig"});
+  write_gnuplot(t, base_.string(), titled("fig"));
   const std::string dat = slurp(base_.string() + ".dat");
   EXPECT_NE(dat.find("2 1.5 nan"), std::string::npos);
 }
@@ -74,7 +80,7 @@ TEST_F(GnuplotTest, SeriesSubsetSelection) {
 
 TEST_F(GnuplotTest, RejectsSingleColumnTable) {
   Table t({"only_x"});
-  EXPECT_THROW(write_gnuplot(t, base_.string(), PlotSpec{.title = "x"}),
+  EXPECT_THROW(write_gnuplot(t, base_.string(), titled("x")),
                std::invalid_argument);
 }
 
@@ -82,7 +88,7 @@ TEST_F(GnuplotTest, RejectsUnwritablePath) {
   Table t({"k", "v"});
   t.add_row({"1", "2"});
   EXPECT_THROW(
-      write_gnuplot(t, "/nonexistent_dir/plot", PlotSpec{.title = "x"}),
+      write_gnuplot(t, "/nonexistent_dir/plot", titled("x")),
       std::runtime_error);
 }
 

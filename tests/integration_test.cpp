@@ -61,7 +61,7 @@ INSTANTIATE_TEST_SUITE_P(
         PipelineCase{"gau_match_k", data::SyntheticKind::Gau, 20000, 10, 10},
         PipelineCase{"unif", data::SyntheticKind::Unif, 20000, 0, 8},
         PipelineCase{"unb", data::SyntheticKind::Unb, 20000, 10, 10}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& param_info) { return std::string(param_info.param.name); });
 
 TEST(Integration, PokerPipeline) {
   Rng rng(1);

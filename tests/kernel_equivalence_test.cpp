@@ -330,8 +330,8 @@ TEST_P(KernelEquivalence, BlockedMultiMatchesRepeatedSingleCenterPasses) {
 INSTANTIATE_TEST_SUITE_P(AllMetrics, KernelEquivalence,
                          ::testing::Values(MetricKind::L2, MetricKind::L1,
                                            MetricKind::Linf),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 TEST(KernelEquivalenceArgmax, MatchesScalarIncludingTies) {

@@ -1,0 +1,22 @@
+// Fixture: a mutex-owning class with an unannotated mutable member.
+#pragma once
+
+#include <vector>
+
+#include "compat/thread_safety.hpp"
+
+namespace fixture {
+
+class Unguarded {
+ public:
+  void push(int v);
+
+ private:
+  kc::compat::Mutex mutex_;
+  // expect: guarded-by
+  // (pad so the marker is not mistaken for an annotation; the member
+  // below has neither KC_GUARDED_BY nor a waiver)
+  std::vector<int> items_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: one deliberate violation per line-grade lint rule. Each
+// `expect:` marker names a rule that kc_lint --self-test asserts fires
+// for this file (and no others may).
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+// expect: entropy
+inline unsigned ambient_seed() { return std::random_device{}(); }
+
+// expect: wallclock
+inline auto wall_now() { return std::chrono::system_clock::now(); }
+
+// expect: unordered-iter
+inline std::unordered_map<int, int> report_index;
+
+// expect: memory-order
+// (the marker comment sits more than three lines above the access, so
+// it cannot itself satisfy the nearby-rationale requirement)
+inline int bare_relaxed(const std::atomic<int>& v) {
+  int pad = 0;
+  pad += 1;
+  (void)pad;
+  return v.load(std::memory_order_relaxed);
+}
+
+// A waiver with no reason is itself a finding.
+// expect: waiver
+inline auto bare_waiver() {
+  return std::rand();  // kc-lint: allow(entropy)
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: a TU that exercises every lint rule's *allowed* form.
+// Linted as if it lived in a report-emitting directory (the strictest
+// placement); kc_lint --self-test must report zero findings here.
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+// steady_clock is the sanctioned time source.
+inline double elapsed(std::chrono::steady_clock::time_point t0) {
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Ordered container in a report TU: fine, iteration order is defined.
+inline int sum(const std::map<int, int>& m) {
+  int total = 0;
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}
+
+// A weak-order access with its rationale comment in range.
+inline int load_counter(const std::atomic<int>& counter) {
+  // Relaxed: monitoring counter; no data is published through it.
+  return counter.load(std::memory_order_relaxed);
+}
+
+// A waived wall-clock use, with a written reason.
+inline long log_stamp() {
+  return std::chrono::system_clock::now()  // kc-lint: allow(wallclock) operator-facing log stamp, never in report bytes
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace fixture

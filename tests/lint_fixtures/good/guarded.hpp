@@ -1,0 +1,29 @@
+// Fixture: a mutex-owning class whose members are all annotated or
+// legitimately exempt. Must lint clean.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "compat/thread_safety.hpp"
+
+namespace fixture {
+
+class Guarded {
+ public:
+  void push(int v) {
+    const kc::compat::LockGuard lock(mutex_);
+    items_.push_back(v);
+  }
+
+ private:
+  kc::compat::Mutex mutex_;
+  std::vector<int> items_ KC_GUARDED_BY(mutex_);
+  std::atomic<int> hits_{0};      // atomics need no lock
+  const int capacity_ = 16;       // immutable after construction
+  // Written once in the constructor, read-only afterwards.
+  // kc-lint: allow(guarded-by) construction-only write, then immutable
+  int seed_ = 0;
+};
+
+}  // namespace fixture

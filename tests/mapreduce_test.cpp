@@ -72,11 +72,11 @@ INSTANTIATE_TEST_SUITE_P(
         PartitionCase{PartitionStrategy::Shuffled, 1000, 13},
         PartitionCase{PartitionStrategy::Block, 1, 4},
         PartitionCase{PartitionStrategy::RoundRobin, 4, 4}),
-    [](const auto& info) {
-      std::string name(to_string(info.param.strategy));
+    [](const auto& param_info) {
+      std::string name(to_string(param_info.param.strategy));
       std::erase(name, '-');  // gtest test names must be alphanumeric
-      return name + "_n" + std::to_string(info.param.n) + "_m" +
-             std::to_string(info.param.machines);
+      return name + "_n" + std::to_string(param_info.param.n) + "_m" +
+             std::to_string(param_info.param.machines);
     });
 
 TEST(Partition, BlockIsContiguous) {
@@ -196,7 +196,7 @@ TEST(SimCluster, MaxMachineTimeDominatesSkewedRound) {
         if (machine == 1) {
           // One straggler dominates the round.
           volatile double sink = 0.0;
-          for (int i = 0; i < 3000000; ++i) sink += i * 0.5;
+          for (int i = 0; i < 3000000; ++i) sink = sink + i * 0.5;
         }
       },
       trace);
@@ -243,7 +243,7 @@ TEST(SimCluster, BusyTaskChargedItsOwnCpuTime) {
       [&](int machine) {
         if (machine == 0) {
           volatile double sink = 0.0;
-          for (int i = 0; i < 2'000'000; ++i) sink += i * 0.5;
+          for (int i = 0; i < 2'000'000; ++i) sink = sink + i * 0.5;
         }
       },
       trace);

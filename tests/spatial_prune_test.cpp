@@ -243,8 +243,8 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, PrunedScans,
                          ::testing::Values(exec::BackendKind::Sequential,
                                            exec::BackendKind::OpenMP,
                                            exec::BackendKind::ThreadPool),
-                         [](const auto& info) {
-                           return std::string(exec::to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(exec::to_string(param_info.param));
                          });
 
 // -------------------------------------------------------- ordered domain

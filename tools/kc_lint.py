@@ -1,0 +1,398 @@
+#!/usr/bin/env python3
+"""kc_lint: the repo's determinism-contract lint.
+
+The reproduction's central promise is that every execution mode emits
+bit-identical reports from the same seed (ROADMAP "determinism
+contract"). Most ways to break that promise are invisible to the
+compiler: a stray wall-clock read, an unordered-container iteration
+that leaks hash order into report bytes, an FMA contraction in a SIMD
+kernel. This lint encodes those rules as grep-grade checks over src/
+plus a flag audit over compile_commands.json, so a violation fails the
+test suite (ctest: kc_lint_src) and CI, not a code review.
+
+Rules (each can be waived per-line, with a written reason):
+
+  entropy        std::random_device / rand() / srand() / drand48() are
+                 banned outside the sanctioned modules (src/rng/).
+                 All randomness must flow from the request seed.
+  wallclock      system_clock, gettimeofday, time(...), CLOCK_REALTIME
+                 and high_resolution_clock (unspecified alias) are
+                 banned in src/. steady_clock and the thread CPU clock
+                 (exec/cpu_clock.hpp) are the sanctioned time sources.
+  unordered-iter std::unordered_* containers are banned in TUs that
+                 emit report/trace bytes (harness/, svc/, mapreduce/,
+                 api/, cli/): iteration order is hash-seed dependent
+                 and would leak into the byte-identity surface.
+  memory-order   every non-seq_cst atomic access must carry a
+                 rationale comment (same line or within the three
+                 lines above) saying why the weaker order is sound.
+  fp-contract    every compile command carrying an ISA flag (-mavx2 /
+                 -mavx512f) must also carry -ffp-contract=off, so SIMD
+                 kernels cannot FMA-contract away from the scalar
+                 reference.
+  guarded-by     in a class that owns a kc::compat::Mutex, mutable
+                 members (trailing-underscore data members that are
+                 not atomic/const/mutex/condvar) must be annotated
+                 KC_GUARDED_BY or explicitly waived.
+  tsa-optout     KC_NO_THREAD_SAFETY_ANALYSIS needs a written reason
+                 (comment within the three lines above).
+
+Waiver grammar (the reason is mandatory; a bare waiver is itself an
+error):
+
+    code();  // kc-lint: allow(wallclock) operator-facing log line only
+
+Usage:
+    tools/kc_lint.py --src src --compile-commands build/compile_commands.json
+    tools/kc_lint.py --self-test tests/lint_fixtures
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------- findings
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------- waivers
+
+WAIVER_RE = re.compile(r"//\s*kc-lint:\s*allow\((?P<rules>[\w\-, ]+)\)(?P<reason>.*)$")
+
+
+def parse_waivers(lines: list[str], path: Path, findings: list[Finding]):
+    """Maps 1-based line number -> set of waived rules for that line.
+
+    A waiver on a pure comment line applies to the next code line.
+    A waiver without a trailing reason is reported and ignored.
+    """
+    waived: dict[int, set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = WAIVER_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group("rules").split(",") if r.strip()}
+        if not m.group("reason").strip():
+            findings.append(
+                Finding(path, i, "waiver", "waiver without a written reason")
+            )
+            continue
+        target = i
+        if line.strip().startswith("//"):  # comment-only line: waive the next line
+            target = i + 1
+        waived.setdefault(target, set()).update(rules)
+    return waived
+
+
+def is_comment_or_string(line: str, pos: int) -> bool:
+    """True when pos sits inside a // comment or a double-quoted string."""
+    comment = line.find("//")
+    if comment != -1 and pos > comment:
+        return True
+    # Odd number of quotes before pos => inside a string literal.
+    return (line[:pos].count('"') % 2) == 1
+
+
+# ------------------------------------------------------------ line rules
+
+ENTROPY_RE = re.compile(
+    r"std::random_device|\brand\s*\(|\bsrand\s*\(|\bdrand48\s*\("
+)
+ENTROPY_SANCTIONED = ("src/rng/",)
+
+WALLCLOCK_RE = re.compile(
+    r"system_clock|high_resolution_clock|gettimeofday|CLOCK_REALTIME"
+    r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+)
+
+UNORDERED_RE = re.compile(r"std::unordered_\w+|#include\s*<unordered_")
+# TUs whose bytes reach a report, trace, response or table. harness/
+# renders tables and plots, svc/ encodes responses, mapreduce/ carries
+# the JobTrace, api/ fills SolveReport, cli/ prints all of the above.
+REPORT_DIRS = ("src/harness/", "src/svc/", "src/mapreduce/", "src/api/",
+               "src/cli/")
+
+MEMORY_ORDER_RE = re.compile(
+    r"memory_order_(?:relaxed|acquire|release|acq_rel|consume)"
+)
+
+TSA_OPTOUT_RE = re.compile(r"KC_NO_THREAD_SAFETY_ANALYSIS")
+
+
+def has_nearby_comment(lines: list[str], idx: int) -> bool:
+    """A '//' comment on line idx (0-based) or within the 3 lines above."""
+    line = lines[idx]
+    if "//" in line or "/*" in line or "*/" in line:
+        return True
+    for back in range(1, 4):
+        if idx - back < 0:
+            break
+        stripped = lines[idx - back].strip()
+        if stripped.startswith("//") or stripped.startswith("*") or \
+                stripped.startswith("/*") or stripped.endswith("*/"):
+            return True
+    return False
+
+
+def lint_lines(path: Path, rel: str, text: str, findings: list[Finding]):
+    lines = text.splitlines()
+    waived = parse_waivers(lines, path, findings)
+
+    def report(i: int, rule: str, message: str):
+        if rule in waived.get(i, set()):
+            return
+        findings.append(Finding(path, i, rule, message))
+
+    in_block_comment = False
+    for i, line in enumerate(lines, start=1):
+        # Cheap block-comment tracking: rules never need to fire inside
+        # documentation, and the determinism patterns are rare enough
+        # that a line both opening and closing /* */ around a match is
+        # not a case worth engineering for.
+        stripped = line.strip()
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+            continue
+        if stripped.startswith("/*") and "*/" not in line:
+            in_block_comment = True
+            continue
+
+        m = ENTROPY_RE.search(line)
+        if m and not is_comment_or_string(line, m.start()):
+            if not any(rel.startswith(p) for p in ENTROPY_SANCTIONED):
+                report(i, "entropy",
+                       f"ambient entropy '{m.group(0).strip()}' outside "
+                       "src/rng/; derive randomness from the request seed")
+
+        m = WALLCLOCK_RE.search(line)
+        if m and not is_comment_or_string(line, m.start()):
+            report(i, "wallclock",
+                   f"wall-clock source '{m.group(0).strip()}'; use "
+                   "steady_clock or exec/cpu_clock.hpp")
+
+        m = UNORDERED_RE.search(line)
+        if m and not is_comment_or_string(line, m.start()):
+            if any(rel.startswith(p) for p in REPORT_DIRS):
+                report(i, "unordered-iter",
+                       "unordered container in a report/trace-emitting TU; "
+                       "iteration order would leak hash order into report "
+                       "bytes — use a sorted or insertion-ordered container")
+
+        m = MEMORY_ORDER_RE.search(line)
+        if m and not is_comment_or_string(line, m.start()):
+            if not has_nearby_comment(lines, i - 1):
+                report(i, "memory-order",
+                       f"'{m.group(0)}' without a rationale comment; say "
+                       "why the weaker ordering is sound (same line or the "
+                       "3 lines above)")
+
+        m = TSA_OPTOUT_RE.search(line)
+        if m and not is_comment_or_string(line, m.start()) and \
+                "define" not in line:
+            if not has_nearby_comment(lines, i - 1):
+                report(i, "tsa-optout",
+                       "KC_NO_THREAD_SAFETY_ANALYSIS without a written "
+                       "reason in the 3 lines above")
+
+
+# -------------------------------------------------------- guarded-by rule
+
+MUTEX_MEMBER_RE = re.compile(r"(?:kc::)?compat::Mutex\s+(\w+)\s*;")
+# A data member in this codebase's style: trailing-underscore name,
+# optionally initialized, declared on one line.
+MEMBER_RE = re.compile(r"^\s+[\w:<>,\s\*&\[\]]+?\s[\*&]?(\w+_)\s*(?:=[^;]*|\{[^;]*\})?;")
+MEMBER_EXEMPT_RE = re.compile(
+    r"std::atomic|compat::Mutex|compat::CondVar|std::mutex|"
+    r"std::condition_variable|\bstatic\b|\bconstexpr\b|^\s*const\b|"
+    r"KC_GUARDED_BY|KC_PT_GUARDED_BY|\busing\b|\btypedef\b"
+)
+
+
+def lint_guarded_by(path: Path, text: str, findings: list[Finding]):
+    """Flags trailing-underscore data members of mutex-owning classes
+    that carry no KC_GUARDED_BY annotation.
+
+    Heuristic, brace-depth based: a class is "mutex-owning" once a
+    compat::Mutex member is seen at its depth. Multi-line declarations
+    are joined on the annotation check by looking one line ahead.
+    """
+    lines = text.splitlines()
+    waived = parse_waivers(lines, path, findings)
+
+    depth = 0
+    mutex_depths: set[int] = set()
+    for i, line in enumerate(lines, start=1):
+        code = line.split("//")[0]
+        if MUTEX_MEMBER_RE.search(code):
+            mutex_depths.add(depth + code.count("{") - code.count("}"))
+        opening = code.count("{")
+        closing = code.count("}")
+        if depth in mutex_depths and closing > opening:
+            mutex_depths.discard(depth)
+        prev_depth = depth
+        depth += opening - closing
+
+        if prev_depth not in mutex_depths:
+            continue
+        m = MEMBER_RE.match(code)
+        if not m:
+            continue
+        if MEMBER_EXEMPT_RE.search(code):
+            continue
+        # Function declarations also match MEMBER_RE when they return a
+        # templated type; require no parentheses before the member name.
+        if "(" in code:
+            continue
+        joined = code + (lines[i] if i < len(lines) else "")
+        if "KC_GUARDED_BY" in joined:
+            continue
+        if "guarded-by" in waived.get(i, set()):
+            continue
+        findings.append(Finding(
+            path, i, "guarded-by",
+            f"member '{m.group(1)}' of a mutex-owning class has no "
+            "KC_GUARDED_BY annotation (or waiver naming the discipline "
+            "that protects it)"))
+
+
+# ----------------------------------------------------- compile_commands
+
+ISA_FLAGS = ("-mavx2", "-mavx512f")
+
+
+def lint_compile_commands(db_path: Path, findings: list[Finding]):
+    try:
+        entries = json.loads(db_path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        findings.append(Finding(db_path, 0, "fp-contract",
+                                f"cannot read compilation database: {err}"))
+        return
+    for entry in entries:
+        command = entry.get("command") or " ".join(entry.get("arguments", []))
+        if not any(flag in command for flag in ISA_FLAGS):
+            continue
+        if "-ffp-contract=off" not in command:
+            findings.append(Finding(
+                Path(entry.get("file", "?")), 0, "fp-contract",
+                "SIMD TU compiled without -ffp-contract=off; FMA "
+                "contraction would break scalar/SIMD bit-identity"))
+
+
+# ----------------------------------------------------------------- driver
+
+
+def lint_tree(src_root: Path, repo_root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in sorted(src_root.rglob("*")):
+        if path.suffix not in (".cpp", ".hpp", ".h", ".cc"):
+            continue
+        rel = path.relative_to(repo_root).as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        lint_lines(path, rel, text, findings)
+        if path.suffix in (".hpp", ".h"):
+            lint_guarded_by(path, text, findings)
+    return findings
+
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([\w\-]+)")
+
+
+def self_test(fixtures: Path, repo_root: Path) -> int:
+    """good/ fixtures must lint clean; each bad/ fixture must produce
+    exactly the rule set its `// expect: <rule>` markers declare."""
+    failures = 0
+    good = sorted((fixtures / "good").glob("*"))
+    bad = sorted((fixtures / "bad").glob("*"))
+    if not good or not bad:
+        print(f"kc_lint --self-test: no fixtures under {fixtures}",
+              file=sys.stderr)
+        return 1
+    for path in good:
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        findings: list[Finding] = []
+        text = path.read_text()
+        # Good fixtures are linted as if they lived in the strictest
+        # spot: a report-emitting directory.
+        lint_lines(path, "src/harness/" + path.name, text, findings)
+        if path.suffix == ".hpp":
+            lint_guarded_by(path, text, findings)
+        for f in findings:
+            print(f"FAIL (good fixture flagged): {f}", file=sys.stderr)
+            failures += 1
+    for path in bad:
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        text = path.read_text()
+        expected = sorted(EXPECT_RE.findall(text))
+        findings = []
+        lint_lines(path, "src/harness/" + path.name, text, findings)
+        if path.suffix == ".hpp":
+            lint_guarded_by(path, text, findings)
+        got = sorted({f.rule for f in findings})
+        missing = [r for r in expected if r not in got]
+        surplus = [r for r in got if r not in expected]
+        for rule in missing:
+            print(f"FAIL (expected rule not fired): {path}: {rule}",
+                  file=sys.stderr)
+            failures += 1
+        for rule in surplus:
+            for f in findings:
+                if f.rule == rule:
+                    print(f"FAIL (unexpected finding): {f}", file=sys.stderr)
+            failures += 1
+    if failures == 0:
+        print(f"kc_lint --self-test: {len(good) + len(bad)} fixtures OK")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--src", type=Path, default=Path("src"),
+                        help="source tree to lint (default: src)")
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="compile_commands.json for the flag audit")
+    parser.add_argument("--self-test", type=Path, default=None,
+                        metavar="FIXTURES",
+                        help="run against the fixture corpus and exit")
+    args = parser.parse_args(argv)
+
+    repo_root = args.src.resolve().parent
+
+    if args.self_test is not None:
+        return self_test(args.self_test, repo_root)
+
+    if not args.src.is_dir():
+        print(f"kc_lint: no such source tree: {args.src}", file=sys.stderr)
+        return 2
+
+    findings = lint_tree(args.src.resolve(), repo_root)
+    if args.compile_commands is not None:
+        lint_compile_commands(args.compile_commands, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"kc_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("kc_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
