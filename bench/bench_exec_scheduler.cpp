@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/kcenter.hpp"
+#include "exec/topology.hpp"
 
 namespace {
 
@@ -179,7 +180,7 @@ void bench_dispatch(const Config& cfg, std::vector<Entry>& entries) {
   const auto chunk_counts = {static_cast<std::size_t>(cfg.threads),
                              std::size_t{64}, std::size_t{512}};
   for (const std::size_t chunks : chunk_counts) {
-    kc::exec::Scheduler scheduler(cfg.threads);
+    kc::exec::Scheduler scheduler(cfg.threads, kc::exec::env_pin_mode());
     const double ws = best_of(cfg.reps, [&] {
       return rounds_seconds(scheduler, rounds, chunks);
     });
@@ -203,7 +204,7 @@ void bench_dispatch(const Config& cfg, std::vector<Entry>& entries) {
 
 /// 2. Steal rate under a skewed round.
 void bench_steals(const Config& cfg, std::vector<Entry>& entries) {
-  kc::exec::Scheduler scheduler(cfg.threads);
+  kc::exec::Scheduler scheduler(cfg.threads, kc::exec::env_pin_mode());
   const int rounds = cfg.quick ? 20 : 100;
   const auto before = scheduler.stats();
   for (int r = 0; r < rounds; ++r) {
@@ -282,11 +283,25 @@ void write_json(const Config& cfg, const std::vector<Entry>& entries) {
   // matter how well the scheduler interleaves them. Below two hardware
   // threads every parallel measurement in this file degenerates to a
   // context-switch benchmark, so the report brands itself untrusted —
-  // downstream tooling must not regress-gate on those numbers.
+  // downstream tooling must not regress-gate on those numbers. The
+  // same branding applies when pinning was requested (KC_PIN) but the
+  // host cannot engage the hardware half (restricted or single-node):
+  // the run then measures software placement only, not the pinned
+  // configuration its header claims.
   const unsigned hw = std::thread::hardware_concurrency();
+  const kc::exec::Topology& topo = kc::exec::topology();
+  const kc::exec::PinMode pin = kc::exec::env_pin_mode();
   out << "{\n  \"bench\": \"exec\",\n  \"threads\": " << cfg.threads
-      << ",\n  \"hw_concurrency\": " << hw;
-  if (hw < 2) out << ",\n  \"untrusted\": true";
+      << ",\n  \"hw_concurrency\": " << hw
+      << ",\n  \"topology\": {\"nodes\": " << topo.nodes
+      << ", \"cores\": " << topo.cores
+      << ", \"hw_threads\": " << topo.hw_threads
+      << ", \"restricted\": " << (topo.restricted ? "true" : "false")
+      << "},\n  \"pin\": \"" << kc::exec::to_string(pin) << "\"";
+  if (hw < 2 || (pin != kc::exec::PinMode::Off &&
+                 !kc::exec::pin_hardware_available())) {
+    out << ",\n  \"untrusted\": true";
+  }
   out << ",\n  \"entries\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     out << "    {\"name\": \"" << entries[i].name
@@ -320,10 +335,20 @@ int main(int argc, char** argv) {
   }
 
   const unsigned hw = std::thread::hardware_concurrency();
-  std::printf("hardware threads: %u   pool threads: %d%s\n", hw, cfg.threads,
+  const kc::exec::Topology& topo = kc::exec::topology();
+  const kc::exec::PinMode pin = kc::exec::env_pin_mode();
+  std::printf("hardware threads: %u   pool threads: %d   nodes: %d   "
+              "pin: %s%s%s\n",
+              hw, cfg.threads, topo.nodes,
+              std::string(kc::exec::to_string(pin)).c_str(),
               hw < 2 ? "   [UNTRUSTED: parallel timings are meaningless "
                        "below 2 hardware threads]"
-                     : "");
+                     : "",
+              pin != kc::exec::PinMode::Off &&
+                      !kc::exec::pin_hardware_available()
+                  ? "   [UNTRUSTED: pinning requested but hardware "
+                    "pinning is unavailable on this host]"
+                  : "");
 
   std::vector<Entry> entries;
   bench_dispatch(cfg, entries);

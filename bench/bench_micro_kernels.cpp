@@ -3,8 +3,9 @@
 // Two halves:
 //
 //   1. A self-timed kernel matrix (no external deps): scalar vs AVX2 vs
-//      AVX-512 across {contiguous, gather} x {single-center,
-//      center-blocked} x shapes, reported as ns/pair and written to a
+//      AVX-512 vs NEON across {contiguous, gather} x {single-center,
+//      center-blocked} x shapes, plus the tiled pairwise engine vs the
+//      per-pair path it replaced, reported as ns/pair and written to a
 //      machine-readable BENCH_kernels.json so the perf trajectory is
 //      tracked across PRs. This is what CI runs.
 //   2. The original google-benchmark suite (pair distance, GON,
@@ -31,6 +32,7 @@
 
 #include "core/kcenter.hpp"
 #include "data/generators.hpp"
+#include "exec/topology.hpp"
 #include "geom/counters.hpp"
 #include "geom/kernels.hpp"
 #include "geom/spatial_index.hpp"
@@ -167,6 +169,60 @@ Cell run_multi_cell(const KernelTable& table, kc::MetricKind metric,
           std::string(kc::to_string(metric)), dim, ncenters, ns};
 }
 
+/// Tiled pairwise kernel vs the per-pair path it replaced. Both fill
+/// the same m x n comparable tiles (bit-identical values); the old
+/// vector-returning pairwise_comparable adapter made one table.pair
+/// call per element into a dense buffer, so the "pairwise_pair" cell
+/// is its exact cost model minus the n^2 allocation. The layout column
+/// names the tile shape ("t8x256" is the engine's streaming tile);
+/// the per-pair cost is shape-blind, so one baseline per (isa, metric,
+/// dim) suffices.
+Cell run_tile_cell(const KernelTable& table, kc::MetricKind metric,
+                   std::size_t dim, std::size_t tm, std::size_t tn,
+                   bool tiled, const MatrixConfig& cfg) {
+  const kc::PointSet ps = make_points(cfg.n, dim, /*seed=*/dim * 13 + 5);
+  const auto m = static_cast<std::size_t>(metric);
+  // A fixed block of query rows against every point: the HS-candidate
+  // and brute-force streaming shape. Clamped for tiny --n runs.
+  const std::size_t arows = std::min<std::size_t>(cfg.n, 64);
+  std::vector<double> tile(tm * tn);
+  const double* rows = ps.raw().data();
+  const auto body = [&] {
+    for (int it = 0; it < cfg.inner; ++it) {
+      for (std::size_t i0 = 0; i0 < arows; i0 += tm) {
+        const std::size_t mrows = std::min(tm, arows - i0);
+        for (std::size_t j0 = 0; j0 < cfg.n; j0 += tn) {
+          const std::size_t ncols = std::min(tn, cfg.n - j0);
+          if (tiled) {
+            table.pairwise_tile[m](rows + i0 * dim, rows + j0 * dim, dim,
+                                   mrows, ncols, tile.data(), tn);
+          } else {
+            for (std::size_t r = 0; r < mrows; ++r) {
+              for (std::size_t c = 0; c < ncols; ++c) {
+                tile[r * tn + c] = table.pair[m](rows + (i0 + r) * dim,
+                                                 rows + (j0 + c) * dim, dim);
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+  const double ns = time_ns_per_pair(
+      arows * cfg.n * static_cast<std::size_t>(cfg.inner), cfg.reps, body);
+  // snprintf rather than string concatenation: gcc 12's -Wrestrict
+  // fires a false positive (PR105651) on chained operator+ here.
+  char shape[32];
+  std::snprintf(shape, sizeof shape, "t%zux%zu", tm, tn);
+  return {table.name,
+          tiled ? "pairwise_tile" : "pairwise_pair",
+          shape,
+          std::string(kc::to_string(metric)),
+          dim,
+          tm,
+          ns};
+}
+
 /// The three shapes of the pruned-scan matrix.
 enum class PruneShape {
   Unpruned,  ///< exact blocked multi-scan through the oracle (the bar)
@@ -263,8 +319,8 @@ Cell run_pruned_cell(kc::MetricKind metric, std::size_t dim, std::size_t k,
 
 std::vector<Cell> run_matrix(const MatrixConfig& cfg) {
   std::vector<const KernelTable*> tables;
-  for (const IsaLevel level :
-       {IsaLevel::Scalar, IsaLevel::Avx2, IsaLevel::Avx512}) {
+  for (const IsaLevel level : {IsaLevel::Scalar, IsaLevel::Avx2,
+                               IsaLevel::Avx512, IsaLevel::Neon}) {
     if (kc::simd::isa_compiled(level) && kc::simd::isa_supported(level)) {
       tables.push_back(kc::simd::kernels_for(level));
     }
@@ -292,6 +348,25 @@ std::vector<Cell> run_matrix(const MatrixConfig& cfg) {
       cells.push_back(run_multi_cell(*table, kc::MetricKind::L2, 2,
                                      kc::simd::kCenterBlock, contig, cfg));
     }
+    // Tiled pairwise engine vs the per-pair path it replaced, at the
+    // engine's streaming tile shape; extra shapes probe the row-stream
+    // (m=1, threshold_cover/cluster_stats) and short-column cases.
+    for (const std::size_t dim : {std::size_t{2}, std::size_t{3},
+                                  std::size_t{8}}) {
+      cells.push_back(
+          run_tile_cell(*table, kc::MetricKind::L2, dim, 8, 256, true, cfg));
+      cells.push_back(
+          run_tile_cell(*table, kc::MetricKind::L2, dim, 8, 256, false, cfg));
+    }
+    for (const kc::MetricKind metric :
+         {kc::MetricKind::L1, kc::MetricKind::Linf}) {
+      cells.push_back(run_tile_cell(*table, metric, 2, 8, 256, true, cfg));
+      cells.push_back(run_tile_cell(*table, metric, 2, 8, 256, false, cfg));
+    }
+    cells.push_back(
+        run_tile_cell(*table, kc::MetricKind::L2, 2, 1, 256, true, cfg));
+    cells.push_back(
+        run_tile_cell(*table, kc::MetricKind::L2, 2, 8, 64, true, cfg));
   }
 
   // Pruned-scan matrix: the grid-pruned oracle path vs the exact full
@@ -337,9 +412,24 @@ void write_json(const std::vector<Cell>& cells, const MatrixConfig& cfg,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
+  const kc::exec::Topology& topo = kc::exec::topology();
+  const kc::exec::PinMode pin = kc::exec::env_pin_mode();
   out << "{\n  \"bench\": \"kernels\",\n"
       << "  \"active_isa\": \"" << kc::simd::active_kernels().name << "\",\n"
-      << "  \"n\": " << cfg.n << ",\n  \"entries\": [\n";
+      << "  \"n\": " << cfg.n << ",\n"
+      << "  \"topology\": {\"nodes\": " << topo.nodes
+      << ", \"cores\": " << topo.cores
+      << ", \"hw_threads\": " << topo.hw_threads
+      << ", \"restricted\": " << (topo.restricted ? "true" : "false")
+      << "},\n  \"pin\": \"" << kc::exec::to_string(pin) << "\"";
+  // Pinning requested but the hardware half cannot engage (restricted
+  // or single-node host): the numbers are still valid single-thread
+  // timings, but a report that *claims* a pinned configuration without
+  // delivering one must not be regress-gated as that configuration.
+  if (pin != kc::exec::PinMode::Off && !kc::exec::pin_hardware_available()) {
+    out << ",\n  \"untrusted\": true";
+  }
+  out << ",\n  \"entries\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& c = cells[i];
     out << "    {\"isa\": \"" << c.isa << "\", \"kernel\": \"" << c.kernel
@@ -354,7 +444,8 @@ void write_json(const std::vector<Cell>& cells, const MatrixConfig& cfg,
 }
 
 void print_isa() {
-  const auto levels = {IsaLevel::Scalar, IsaLevel::Avx2, IsaLevel::Avx512};
+  const auto levels = {IsaLevel::Scalar, IsaLevel::Avx2, IsaLevel::Avx512,
+                       IsaLevel::Neon};
   for (const IsaLevel level : levels) {
     std::printf("%-7s compiled=%d supported=%d\n",
                 std::string(kc::simd::to_string(level)).c_str(),

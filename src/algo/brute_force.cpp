@@ -44,8 +44,46 @@ KCenterResult brute_force_opt(const DistanceOracle& oracle,
     throw std::length_error("brute_force_opt: too many center subsets");
   }
 
-  // Precompute the pairwise matrix once: the enumeration below touches
-  // every pair many times.
+  if (k == 1) {
+    // k = 1 is the one shape the subset cap admits at large n (C(n,1)
+    // = n), where the old dense pairwise matrix meant an O(n^2)
+    // allocation — 20 GB at n = 50k. Each pair is needed exactly twice
+    // (once per endpoint's covering radius), so stream upper-triangle
+    // tiles and fold a running per-candidate max instead: O(n) memory,
+    // and the max fold is order-independent, so the result is
+    // bit-identical to the matrix walk.
+    std::vector<double> radius(n, 0.0);
+    oracle.pairwise_upper_tiles(
+        pts,
+        [&](std::size_t i0, std::size_t j0, std::size_t tm, std::size_t tn,
+            const double* tile, std::size_t ldt) {
+          for (std::size_t r = 0; r < tm; ++r) {
+            const double* row = tile + r * ldt;
+            double rmax = radius[i0 + r];
+            for (std::size_t c = 0; c < tn; ++c) {
+              const double v = row[c];
+              if (v > rmax) rmax = v;
+              if (v > radius[j0 + c]) radius[j0 + c] = v;
+            }
+            radius[i0 + r] = rmax;
+          }
+        },
+        "brute_force_opt");
+    // First-wins argmin matches the lexicographic subset enumeration.
+    std::size_t best_c = 0;
+    for (std::size_t c = 1; c < n; ++c) {
+      if (radius[c] < radius[best_c]) best_c = c;
+    }
+    KCenterResult one;
+    one.centers.push_back(pts[best_c]);
+    one.radius_comparable = radius[best_c];
+    return one;
+  }
+
+  // k >= 2: the subset cap bounds n to the small regime (C(n,2) <=
+  // max_subsets already forces n ~ sqrt(max_subsets)), so the dense
+  // matrix the enumeration rereads per subset stays genuinely small.
+  // Built through the tiled engine via the pairwise_comparable adapter.
   const std::vector<double> dist = oracle.pairwise_comparable(pts);
 
   std::vector<std::size_t> comb(k);

@@ -17,6 +17,10 @@ namespace kc {
 /// Exact optimum over all center subsets of size min(k, |pts|).
 ///
 /// Throws std::length_error if C(|pts|, k) exceeds `max_subsets`.
+/// Memory: O(|pts|) for k = 1 (the covering radii stream out of the
+/// tiled pairwise engine; no distance matrix is materialized), O(n^2)
+/// only for k >= 2 where the subset cap already bounds n to the small
+/// regime.
 [[nodiscard]] KCenterResult brute_force_opt(const DistanceOracle& oracle,
                                             std::span<const index_t> pts,
                                             std::size_t k,

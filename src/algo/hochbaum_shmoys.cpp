@@ -16,6 +16,10 @@ namespace {
     double cover_comp) {
   std::vector<index_t> centers;
   std::vector<bool> covered(pts.size(), false);
+  // Scratch for the per-center scan: the uncovered survivors' ids (the
+  // tile's b side) and their positions in pts (to mark covered).
+  std::vector<index_t> uncov_ids;
+  std::vector<std::size_t> uncov_pos;
   std::size_t first_uncovered = 0;
   while (true) {
     while (first_uncovered < pts.size() && covered[first_uncovered]) {
@@ -26,11 +30,31 @@ namespace {
     const index_t center = pts[first_uncovered];
     centers.push_back(center);
     covered[first_uncovered] = true;
+    // Gather the uncovered survivors, then evaluate the new center
+    // against exactly those points as one tiled 1 x u row — the same
+    // pairs (and eval count) the old per-pair loop computed, through
+    // the vectorized tile kernel. Ungated, like the per-pair
+    // comparable() calls it replaces, which never consulted the bound
+    // context.
+    uncov_ids.clear();
+    uncov_pos.clear();
     for (std::size_t i = first_uncovered + 1; i < pts.size(); ++i) {
-      if (!covered[i] && oracle.comparable(pts[i], center) <= cover_comp) {
-        covered[i] = true;
+      if (!covered[i]) {
+        uncov_ids.push_back(pts[i]);
+        uncov_pos.push_back(i);
       }
     }
+    if (uncov_ids.empty()) continue;
+    const index_t cid[1] = {center};
+    oracle.pairwise_tiles(
+        {cid, 1}, uncov_ids,
+        [&](std::size_t, std::size_t j0, std::size_t, std::size_t tn,
+            const double* tile, std::size_t) {
+          for (std::size_t c = 0; c < tn; ++c) {
+            if (tile[c] <= cover_comp) covered[uncov_pos[j0 + c]] = true;
+          }
+        },
+        "threshold_cover", /*gated=*/false);
   }
 }
 
@@ -58,21 +82,22 @@ KCenterResult hochbaum_shmoys(const DistanceOracle& oracle,
   }
 
   // Candidate radii: all pairwise comparable distances, deduplicated.
-  // Each source point contributes one update_nearest sweep over the
-  // points after it (min against kInfDist = the raw distance), so the
-  // candidate list is produced by the vectorized bulk kernels — and by
-  // the contiguous fast path when pts is an iota span — instead of
-  // O(n^2) scalar pair calls.
+  // Streamed out of the tiled pairwise engine (upper triangle only) so
+  // the list is produced by the cache-blocked SIMD kernel without ever
+  // materializing the n^2 matrix; the sort below makes the append order
+  // irrelevant.
   std::vector<double> candidates;
   candidates.reserve(pts.size() * (pts.size() - 1) / 2);
-  std::vector<double> row(pts.size() - 1);
-  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
-    const auto tail = pts.subspan(i + 1);
-    const std::span<double> out(row.data(), tail.size());
-    std::fill(out.begin(), out.end(), kInfDist);
-    oracle.update_nearest(tail, pts[i], out);
-    candidates.insert(candidates.end(), out.begin(), out.end());
-  }
+  oracle.pairwise_upper_tiles(
+      pts,
+      [&](std::size_t, std::size_t, std::size_t tm, std::size_t tn,
+          const double* tile, std::size_t ldt) {
+        for (std::size_t r = 0; r < tm; ++r) {
+          const double* row = tile + r * ldt;
+          candidates.insert(candidates.end(), row, row + tn);
+        }
+      },
+      "hs_candidates");
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());

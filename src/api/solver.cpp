@@ -92,7 +92,8 @@ std::shared_ptr<exec::ExecutionBackend> Solver::resolve_backend(
   if (request.exec.backend != nullptr) return request.exec.backend;
   if (pinned_ != nullptr) return pinned_;
   if (cached_ != nullptr && cached_kind_ == request.exec.kind &&
-      cached_threads_ == request.exec.threads) {
+      cached_threads_ == request.exec.threads &&
+      cached_pin_ == request.exec.pin) {
     return cached_;
   }
   if (!exec::backend_available(request.exec.kind)) {
@@ -101,12 +102,14 @@ std::shared_ptr<exec::ExecutionBackend> Solver::resolve_backend(
                     std::string(exec::to_string(request.exec.kind)) + "'");
   }
   try {
-    cached_ = exec::make_backend(request.exec.kind, request.exec.threads);
+    cached_ = exec::make_backend(request.exec.kind, request.exec.threads,
+                                 request.exec.pin);
   } catch (const std::exception& e) {
     throw Error(ErrorKind::UnsupportedBackend, e.what());
   }
   cached_kind_ = request.exec.kind;
   cached_threads_ = request.exec.threads;
+  cached_pin_ = request.exec.pin;
   return cached_;
 }
 

@@ -21,15 +21,6 @@ namespace {
   return ctx != nullptr && ctx->armed() ? ctx : nullptr;
 }
 
-/// Points per gate chunk for a scan doing `evals_per_item` pair
-/// evaluations per point.
-[[nodiscard]] std::size_t gate_items(std::size_t evals_per_item) noexcept {
-  return std::max<std::size_t>(
-      1, static_cast<std::size_t>(
-             exec::kGateEvals /
-             std::max<std::uint64_t>(evals_per_item, 1)));
-}
-
 /// Folds best[i] = min(best[i], comparable(pts[i], nearest center)) via
 /// the bulk update_nearest_multi kernels, so evaluation scans get the
 /// SIMD tables, the contiguous fast path, center blocking, and (when
@@ -113,35 +104,56 @@ std::vector<std::uint32_t> assign_clusters(const DistanceOracle& oracle,
     throw std::invalid_argument("assign_clusters: empty centers");
   }
   std::vector<std::uint32_t> assignment(pts.size(), 0);
+  if (pts.empty()) return assignment;
 
-  if (const exec::ChunkContext* ctx = gate_of(oracle)) {
-    // Gated sequential pass: charge one gate's worth of assignments
-    // (|centers| pair evaluations each) before computing them.
-    const std::size_t gate = gate_items(centers.size());
-    for (std::size_t lo = 0; lo < pts.size(); lo += gate) {
-      const std::size_t hi = std::min(pts.size(), lo + gate);
-      const exec::StopReason reason = ctx->charge(
-          static_cast<std::uint64_t>(hi - lo) * centers.size());
-      if (reason != exec::StopReason::None) {
-        exec::ChunkContext::raise(reason, "assign_clusters");
+  // Streams point-rows x center-columns tiles out of the tiled pairwise
+  // engine and folds a per-row first-wins strict-< argmin. Center tiles
+  // arrive in ascending order, so the fold makes the same decisions as
+  // the old per-point nearest_center loop — on bit-identical distances
+  // (the tile kernel's contract) — without a scalar pair call per
+  // (point, center).
+  std::vector<double> best(pts.size(), kInfDist);
+  const auto fold_from = [&assignment, &best](std::size_t base) {
+    return [&assignment, &best, base](std::size_t i0, std::size_t j0,
+                                      std::size_t tm, std::size_t tn,
+                                      const double* tile, std::size_t ldt) {
+      for (std::size_t r = 0; r < tm; ++r) {
+        const std::size_t i = base + i0 + r;
+        const double* row = tile + r * ldt;
+        for (std::size_t c = 0; c < tn; ++c) {
+          if (row[c] < best[i]) {
+            best[i] = row[c];
+            assignment[i] = static_cast<std::uint32_t>(j0 + c);
+          }
+        }
       }
-      for (std::size_t i = lo; i < hi; ++i) {
-        assignment[i] =
-            static_cast<std::uint32_t>(oracle.nearest_center(pts[i], centers));
-      }
+    };
+  };
+
+#ifdef KC_HAVE_OPENMP
+  if (parallel && gate_of(oracle) == nullptr) {
+    // Ungated parallel pass: chunks stream independent tile rectangles
+    // into disjoint assignment slices with the same per-row fold, so
+    // the labels stay bit-identical to the sequential pass.
+    constexpr std::size_t kChunk = 4096;
+    const auto nchunks =
+        static_cast<std::int64_t>((pts.size() + kChunk - 1) / kChunk);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t b = 0; b < nchunks; ++b) {
+      const std::size_t lo = static_cast<std::size_t>(b) * kChunk;
+      const std::size_t len = std::min(kChunk, pts.size() - lo);
+      oracle.pairwise_tiles(pts.subspan(lo, len), centers, fold_from(lo),
+                            "assign_clusters");
     }
     return assignment;
   }
-
-#ifdef KC_HAVE_OPENMP
-#pragma omp parallel for if (parallel)
 #else
   (void)parallel;
 #endif
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    assignment[i] =
-        static_cast<std::uint32_t>(oracle.nearest_center(pts[i], centers));
-  }
+  // One stream covers both the gated case (the engine charges the
+  // budget in gate batches under the same "assign_clusters" label as
+  // before) and the sequential ungated case.
+  oracle.pairwise_tiles(pts, centers, fold_from(0), "assign_clusters");
   return assignment;
 }
 
@@ -155,24 +167,42 @@ ClusterStats cluster_stats(const DistanceOracle& oracle,
 
   ClusterStats stats;
   stats.sizes.assign(centers.size(), 0);
+  for (const std::uint32_t c : assignment) ++stats.sizes[c];
+
+  // Bucket the member points per cluster (counting sort), then stream
+  // each cluster's center-to-members row through the tiled engine and
+  // fold the max. Exactly one pair evaluation per point — the same
+  // total the old per-point loop charged — and the max fold is
+  // order-independent over NaN-free distances, so the radii stay
+  // bit-identical. Gating (budget/cancel, label "cluster_stats") is
+  // handled by the engine.
+  std::vector<std::size_t> offset(centers.size() + 1, 0);
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    offset[c + 1] = offset[c] + stats.sizes[c];
+  }
+  std::vector<index_t> members(pts.size());
+  {
+    std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      members[cursor[assignment[i]]++] = pts[i];
+    }
+  }
   std::vector<double> radii_comp(centers.size(), 0.0);
-  const exec::ChunkContext* ctx = gate_of(oracle);
-  const std::size_t gate = ctx != nullptr ? gate_items(1) : pts.size();
-  for (std::size_t lo = 0; lo < pts.size(); lo += gate) {
-    const std::size_t hi = std::min(pts.size(), lo + gate);
-    if (ctx != nullptr) {
-      const exec::StopReason reason =
-          ctx->charge(static_cast<std::uint64_t>(hi - lo));
-      if (reason != exec::StopReason::None) {
-        exec::ChunkContext::raise(reason, "cluster_stats");
-      }
-    }
-    for (std::size_t i = lo; i < hi; ++i) {
-      const std::uint32_t c = assignment[i];
-      ++stats.sizes[c];
-      const double d = oracle.comparable(pts[i], centers[c]);
-      if (d > radii_comp[c]) radii_comp[c] = d;
-    }
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    const std::size_t sz = offset[c + 1] - offset[c];
+    if (sz == 0) continue;
+    const index_t cid[1] = {centers[c]};
+    double rmax = 0.0;
+    oracle.pairwise_tiles(
+        {cid, 1}, std::span<const index_t>(members).subspan(offset[c], sz),
+        [&rmax](std::size_t, std::size_t, std::size_t, std::size_t tn,
+                const double* tile, std::size_t) {
+          for (std::size_t j = 0; j < tn; ++j) {
+            if (tile[j] > rmax) rmax = tile[j];
+          }
+        },
+        "cluster_stats");
+    radii_comp[c] = rmax;
   }
 
   stats.radii.resize(centers.size());

@@ -160,14 +160,16 @@ void ThreadPoolBackend::parallel_for(std::size_t n, std::size_t grain,
 
 // ---------------------------------------------------------------- factory
 
-std::shared_ptr<ExecutionBackend> make_backend(BackendKind kind, int threads) {
+std::shared_ptr<ExecutionBackend> make_backend(BackendKind kind, int threads,
+                                               std::optional<PinMode> pin) {
   switch (kind) {
     case BackendKind::Sequential:
       return std::make_shared<SequentialBackend>();
     case BackendKind::OpenMP:
       return std::make_shared<OpenMPBackend>(threads);
     case BackendKind::ThreadPool:
-      return std::make_shared<ThreadPoolBackend>(threads);
+      return std::make_shared<ThreadPoolBackend>(threads,
+                                                 pin.value_or(env_pin_mode()));
   }
   throw std::invalid_argument("exec: unknown backend kind");
 }

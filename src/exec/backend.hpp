@@ -122,8 +122,11 @@ class OpenMPBackend final : public ExecutionBackend {
 /// Persistent workers behind the work-stealing scheduler.
 class ThreadPoolBackend final : public ExecutionBackend {
  public:
-  /// `threads <= 0` uses std::thread::hardware_concurrency().
-  explicit ThreadPoolBackend(int threads = 0) : scheduler_(threads) {}
+  /// `threads <= 0` uses std::thread::hardware_concurrency(). `pin`
+  /// engages topology-aware placement (see Scheduler) — byte-identical
+  /// results, potentially better memory locality.
+  explicit ThreadPoolBackend(int threads = 0, PinMode pin = PinMode::Off)
+      : scheduler_(threads, pin) {}
   [[nodiscard]] BackendKind kind() const noexcept override {
     return BackendKind::ThreadPool;
   }
@@ -140,8 +143,12 @@ class ThreadPoolBackend final : public ExecutionBackend {
 };
 
 /// Factory for the --exec flag: builds the requested backend or throws
-/// std::runtime_error when this build cannot provide it.
-[[nodiscard]] std::shared_ptr<ExecutionBackend> make_backend(BackendKind kind,
-                                                             int threads = 0);
+/// std::runtime_error when this build cannot provide it. `pin` applies
+/// to the thread pool only (the other backends have no persistent
+/// workers to place); nullopt defers to the KC_PIN environment
+/// variable.
+[[nodiscard]] std::shared_ptr<ExecutionBackend> make_backend(
+    BackendKind kind, int threads = 0,
+    std::optional<PinMode> pin = std::nullopt);
 
 }  // namespace kc::exec

@@ -563,51 +563,162 @@ std::size_t DistanceOracle::nearest_center(
   return best_pos;
 }
 
+namespace {
+
+/// Cache-blocked tile shape for the streaming pairwise engine. One tile
+/// is kTileRows * kTileCols doubles (16 KiB — comfortably L1/L2
+/// resident together with the point rows it reads), and a tile's pair
+/// count stays far below kGateEvals, so one pre-paid gate batch always
+/// covers the next tile.
+constexpr std::size_t kTileRows = 8;
+constexpr std::size_t kTileCols = 256;
+
+static_assert(kTileRows * kTileCols <= exec::kGateEvals);
+
+/// The gate-batched budget/cancel protocol shared by the tile streams:
+/// budget credit is pre-bought in ~kGateEvals batches (one atomic
+/// charge per gate instead of one per tile) and consumed tile by tile,
+/// so a completed stream charges exactly `total` evaluations and a
+/// stopped one has over-charged by less than one gate. Mirrors the
+/// pattern the row-blocked pairwise_comparable loop used before the
+/// tiled engine replaced it.
+class TileGate {
+ public:
+  TileGate(const exec::ChunkContext* ctx, std::uint64_t total,
+           std::string_view where) noexcept
+      : ctx_(ctx), unpaid_(total), where_(where) {}
+
+  /// Pays for the next `evals` pairs (<= kGateEvals; tile shapes
+  /// guarantee it), raising CancelledError / BudgetExceededError when a
+  /// stop condition has tripped.
+  void pay(std::uint64_t evals) {
+    if (ctx_ == nullptr) return;
+    if (credit_ < evals) {
+      const std::uint64_t batch = std::min(unpaid_, exec::kGateEvals);
+      const exec::StopReason reason = ctx_->charge(batch);
+      if (reason != exec::StopReason::None) {
+        exec::ChunkContext::raise(reason, where_);
+      }
+      unpaid_ -= batch;
+      credit_ += batch;
+    }
+    credit_ -= evals;
+  }
+
+ private:
+  const exec::ChunkContext* ctx_;  ///< null = ungated
+  std::uint64_t unpaid_;
+  std::uint64_t credit_ = 0;
+  std::string_view where_;
+};
+
+/// Contiguous rows for an id span: points straight into the PointSet
+/// when the span is an iota run, otherwise gathers the rows into
+/// `stage` once (O(n * dim) — linear, unlike the O(n^2) matrices the
+/// tile engine exists to avoid).
+[[nodiscard]] const double* rows_of(const PointSet& points,
+                                    std::span<const index_t> ids,
+                                    std::size_t dim,
+                                    std::vector<double>& stage) {
+  if (simd::is_contiguous_run(ids.data(), ids.size())) {
+    return points.data(ids.front());
+  }
+  stage.resize(ids.size() * dim);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const double* p = points.data(ids[i]);
+    std::copy(p, p + dim, stage.data() + i * dim);
+  }
+  return stage.data();
+}
+
+}  // namespace
+
+void DistanceOracle::pairwise_tiles(std::span<const index_t> a_ids,
+                                    std::span<const index_t> b_ids,
+                                    const TileConsumer& consume,
+                                    std::string_view where, bool gated) const {
+  const std::size_t na = a_ids.size();
+  const std::size_t nb = b_ids.size();
+  if (na == 0 || nb == 0) return;
+  // Bulk-kernel accounting: one counter charge for the whole rectangle,
+  // one metric dispatch hoisted out of the tile loop.
+  counters::add_distance_evals(static_cast<std::uint64_t>(na) * nb, dim());
+  const auto tile_fn = kernels_->pairwise_tile[metric_index()];
+  const std::size_t d = dim();
+  std::vector<double> astage, bstage;
+  const double* arows = rows_of(*points_, a_ids, d, astage);
+  const double* brows = rows_of(*points_, b_ids, d, bstage);
+  std::vector<double> tile(std::min(kTileRows, na) * std::min(kTileCols, nb));
+  TileGate pay(gated && gating(ctx_) ? ctx_ : nullptr,
+               static_cast<std::uint64_t>(na) * nb, where);
+  for (std::size_t i0 = 0; i0 < na; i0 += kTileRows) {
+    const std::size_t tm = std::min(kTileRows, na - i0);
+    for (std::size_t j0 = 0; j0 < nb; j0 += kTileCols) {
+      const std::size_t tn = std::min(kTileCols, nb - j0);
+      pay.pay(static_cast<std::uint64_t>(tm) * tn);
+      tile_fn(arows + i0 * d, brows + j0 * d, d, tm, tn, tile.data(), tn);
+      consume(i0, j0, tm, tn, tile.data(), tn);
+    }
+  }
+}
+
+void DistanceOracle::pairwise_upper_tiles(std::span<const index_t> ids,
+                                          const TileConsumer& consume,
+                                          std::string_view where) const {
+  const std::size_t n = ids.size();
+  if (n < 2) return;
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  counters::add_distance_evals(total, dim());
+  const auto tile_fn = kernels_->pairwise_tile[metric_index()];
+  const std::size_t d = dim();
+  std::vector<double> stage;
+  const double* rows = rows_of(*points_, ids, d, stage);
+  std::vector<double> tile(kTileRows * std::min(kTileCols, n));
+  TileGate pay(gating(ctx_) ? ctx_ : nullptr, total, where);
+  for (std::size_t i0 = 0; i0 < n; i0 += kTileRows) {
+    const std::size_t i1 = std::min(n, i0 + kTileRows);
+    // Ragged diagonal part: row i against columns (i, i1) — per-row
+    // tiles, still vectorized across the columns.
+    for (std::size_t i = i0; i + 1 < i1; ++i) {
+      const std::size_t len = i1 - i - 1;
+      pay.pay(len);
+      tile_fn(rows + i * d, rows + (i + 1) * d, d, 1, len, tile.data(), len);
+      consume(i, i + 1, 1, len, tile.data(), len);
+    }
+    // Full blocks strictly right of this diagonal block.
+    const std::size_t tm = i1 - i0;
+    for (std::size_t j0 = i1; j0 < n; j0 += kTileCols) {
+      const std::size_t tn = std::min(kTileCols, n - j0);
+      pay.pay(static_cast<std::uint64_t>(tm) * tn);
+      tile_fn(rows + i0 * d, rows + j0 * d, d, tm, tn, tile.data(), tn);
+      consume(i0, j0, tm, tn, tile.data(), tn);
+    }
+  }
+}
+
 std::vector<double> DistanceOracle::pairwise_comparable(
     std::span<const index_t> ids) const {
   const std::size_t n = ids.size();
   std::vector<double> matrix(n * n, 0.0);
   if (n < 2) return matrix;
-  // Bulk-kernel accounting: one charge for the whole O(n^2) scan and
-  // one metric dispatch, hoisted out of the pair loop.
-  counters::add_distance_evals(n * (n - 1) / 2, dim());
-  const auto pair = kernels_->pair[metric_index()];
-  const std::size_t d = dim();
-  // Context gating: rows split into sub-blocks of at most kGateEvals
-  // pairs; before a block runs out of pre-paid credit, the next gate's
-  // worth of evals (capped at what is left in the matrix) is charged
-  // in one atomic operation. Granularity stays one gate — even a
-  // single huge row stops within ~kGateEvals pairs of a stop — while
-  // the shared budget sees ~total/kGateEvals CAS ops, not one per row,
-  // and a completed scan charges exactly its n*(n-1)/2 pairs.
-  const bool gate = gating(ctx_);
-  const std::size_t block =
-      static_cast<std::size_t>(std::min<std::uint64_t>(exec::kGateEvals, n));
-  std::uint64_t unpaid = n * (n - 1) / 2;
-  std::uint64_t credit = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* pi = points_->data(ids[i]);
-    for (std::size_t j0 = i + 1; j0 < n; j0 += block) {
-      const std::size_t j1 = std::min(n, j0 + block);
-      if (gate) {
-        if (credit < j1 - j0) {
-          const std::uint64_t batch = std::min(unpaid, exec::kGateEvals);
-          const exec::StopReason reason = ctx_->charge(batch);
-          if (reason != exec::StopReason::None) {
-            exec::ChunkContext::raise(reason, "pairwise_comparable");
+  // Thin adapter: mirror each upper-triangle tile into both halves of
+  // the dense matrix. Gating, counters and the raise label behave
+  // exactly as the pre-tile row-blocked loop did.
+  pairwise_upper_tiles(
+      ids,
+      [&](std::size_t i0, std::size_t j0, std::size_t tm, std::size_t tn,
+          const double* tile, std::size_t ldt) {
+        for (std::size_t r = 0; r < tm; ++r) {
+          const std::size_t i = i0 + r;
+          const double* src = tile + r * ldt;
+          for (std::size_t c = 0; c < tn; ++c) {
+            const double v = src[c];
+            matrix[i * n + (j0 + c)] = v;
+            matrix[(j0 + c) * n + i] = v;
           }
-          unpaid -= batch;
-          credit += batch;
         }
-        credit -= j1 - j0;
-      }
-      for (std::size_t j = j0; j < j1; ++j) {
-        const double v = pair(pi, points_->data(ids[j]), d);
-        matrix[i * n + j] = v;
-        matrix[j * n + i] = v;
-      }
-    }
-  }
+      },
+      "pairwise_comparable");
   return matrix;
 }
 

@@ -15,6 +15,7 @@
 // algorithm code stays non-templated and ISA-agnostic.
 #pragma once
 
+#include <functional>
 #include <limits>
 #include <span>
 #include <string_view>
@@ -227,9 +228,49 @@ class DistanceOracle {
   [[nodiscard]] std::size_t nearest_center(
       index_t p, std::span<const index_t> centers) const noexcept;
 
+  /// Receives one dense tile of comparable distances from the tiled
+  /// pairwise engine: `tile[r * ldt + c]` is the comparable distance
+  /// between a-point `i0 + r` and b-point `j0 + c` (indices into the
+  /// caller's id spans), for r < m, c < n. The pointer is only valid
+  /// during the call — the engine reuses one cache-sized buffer for
+  /// every tile, which is the point: consumers fold tiles into running
+  /// results instead of materializing the full |a| x |b| matrix.
+  using TileConsumer = std::function<void(
+      std::size_t i0, std::size_t j0, std::size_t m, std::size_t n,
+      const double* tile, std::size_t ldt)>;
+
+  /// Streams the full |a_ids| x |b_ids| rectangle of comparable
+  /// distances through `consume` in cache-blocked tiles computed by the
+  /// active table's pairwise_tile kernel (bit-identical to per-pair
+  /// scalar calls). Charges |a| * |b| evaluations to the calling
+  /// thread's counters in bulk; with `gated` and an armed bound
+  /// context, the budget is charged in ~kGateEvals batches ahead of the
+  /// tiles they cover and a stop condition raises (labelled `where`)
+  /// within one gate of tripping. `gated = false` skips context checks
+  /// entirely — for call sites whose pre-tile code did per-pair
+  /// comparable() calls, which never consulted the context.
+  void pairwise_tiles(std::span<const index_t> a_ids,
+                      std::span<const index_t> b_ids,
+                      const TileConsumer& consume,
+                      std::string_view where = "pairwise_tiles",
+                      bool gated = true) const;
+
+  /// Streams the strictly-upper-triangle pairs (i < j) of |ids|^2
+  /// through `consume` as tiles: full m x n blocks right of the
+  /// diagonal plus 1 x n row tiles inside diagonal blocks, covering
+  /// each unordered pair exactly once — so exactly ids.size() *
+  /// (ids.size() - 1) / 2 pair evaluations are computed, charged to
+  /// counters in bulk and to an armed bound context's budget in
+  /// ~kGateEvals batches (same gating contract as pairwise_tiles).
+  void pairwise_upper_tiles(
+      std::span<const index_t> ids, const TileConsumer& consume,
+      std::string_view where = "pairwise_upper_tiles") const;
+
   /// Dense comparable distance matrix for a small subset (row-major,
-  /// ids.size()^2 entries). Used by Hochbaum-Shmoys and brute force;
-  /// callers are responsible for keeping |ids| small.
+  /// ids.size()^2 entries, zero diagonal). A thin adapter over
+  /// pairwise_upper_tiles for callers that genuinely need the whole
+  /// matrix resident; anything scanning it once should consume tiles
+  /// instead and skip the n^2 allocation.
   [[nodiscard]] std::vector<double> pairwise_comparable(
       std::span<const index_t> ids) const;
 

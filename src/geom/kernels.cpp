@@ -20,12 +20,16 @@ const KernelTable& avx2_kernel_table() noexcept;
 #ifdef KC_HAVE_AVX512_TU
 const KernelTable& avx512_kernel_table() noexcept;
 #endif
+#ifdef KC_HAVE_NEON_TU
+const KernelTable& neon_kernel_table() noexcept;
+#endif
 
 std::string_view to_string(IsaLevel level) noexcept {
   switch (level) {
     case IsaLevel::Scalar: return "scalar";
     case IsaLevel::Avx2: return "avx2";
     case IsaLevel::Avx512: return "avx512";
+    case IsaLevel::Neon: return "neon";
   }
   return "?";
 }
@@ -46,6 +50,12 @@ bool isa_compiled(IsaLevel level) noexcept {
 #else
       return false;
 #endif
+    case IsaLevel::Neon:
+#ifdef KC_HAVE_NEON_TU
+      return true;
+#else
+      return false;
+#endif
   }
   return false;
 }
@@ -56,8 +66,12 @@ bool isa_supported(IsaLevel level) noexcept {
     case IsaLevel::Scalar: return true;
     case IsaLevel::Avx2: return __builtin_cpu_supports("avx2") != 0;
     case IsaLevel::Avx512: return __builtin_cpu_supports("avx512f") != 0;
+    case IsaLevel::Neon: return false;
   }
   return false;
+#elif defined(__aarch64__)
+  // AdvSIMD is part of the aarch64 baseline; no runtime probe needed.
+  return level == IsaLevel::Scalar || level == IsaLevel::Neon;
 #else
   return level == IsaLevel::Scalar;
 #endif
@@ -79,6 +93,12 @@ const KernelTable* kernels_for(IsaLevel level) noexcept {
 #else
       return nullptr;
 #endif
+    case IsaLevel::Neon:
+#ifdef KC_HAVE_NEON_TU
+      return &neon_kernel_table();
+#else
+      return nullptr;
+#endif
   }
   return nullptr;
 }
@@ -95,7 +115,8 @@ bool force_scalar_requested() noexcept {
 IsaLevel active_level() noexcept {
   static const IsaLevel selected = [] {
     if (force_scalar_requested()) return IsaLevel::Scalar;
-    for (const IsaLevel level : {IsaLevel::Avx512, IsaLevel::Avx2}) {
+    for (const IsaLevel level :
+         {IsaLevel::Avx512, IsaLevel::Avx2, IsaLevel::Neon}) {
       if (isa_compiled(level) && isa_supported(level)) return level;
     }
     return IsaLevel::Scalar;

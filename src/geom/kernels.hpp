@@ -1,10 +1,12 @@
 // Vectorized distance-kernel engine with runtime ISA dispatch.
 //
 // Every algorithm in the reproduction bottoms out in the per-metric
-// pair loops, so those loops are implemented three times — scalar,
-// AVX2, AVX-512 — as separate translation units compiled with per-file
-// ISA flags (the binary stays portable; the wide code is only *executed*
-// after `__builtin_cpu_supports` says the host has the instructions).
+// pair loops, so those loops are implemented once per ISA — scalar,
+// AVX2, AVX-512 on x86, NEON on aarch64 — as separate translation
+// units compiled with per-file ISA flags (the binary stays portable;
+// wide x86 code is only *executed* after `__builtin_cpu_supports` says
+// the host has the instructions, and the NEON table is part of the
+// aarch64 baseline).
 //
 // The determinism contract, inherited from the execution-backend layer:
 // vectorized kernels are **bit-identical** to the scalar loops. They
@@ -50,7 +52,7 @@ inline constexpr std::size_t kMetricCount = 3;
 /// (the MetricKind enumerator value) so the per-call metric switch is a
 /// single table load, hoisted out of every pair loop.
 struct KernelTable {
-  /// "scalar", "avx2", "avx512".
+  /// "scalar", "avx2", "avx512", "neon".
   const char* name;
 
   /// Comparable distance of one pair (the scalar unit; shared by every
@@ -82,12 +84,27 @@ struct KernelTable {
   /// Position of the maximum element, first on ties; n must be positive
   /// and values must be NaN-free (distance arrays always are).
   std::size_t (*argmax)(const double* values, std::size_t n);
+
+  /// Dense m x n pairwise tile: out[i * ldo + j] = metric(a_i, b_j) for
+  /// the m contiguous rows at `arows` against the n contiguous rows at
+  /// `brows` (ldo is out's leading dimension, >= n). The building block
+  /// of the tile-streaming pairwise engine: callers cut the full
+  /// pairwise problem into cache-sized tiles and consume each tile
+  /// before the next is computed, so no n^2 buffer ever exists. SIMD
+  /// variants vectorize across the b rows (one b point per lane) with
+  /// the scalar coordinate fold per lane — bit-identical to the scalar
+  /// per-pair loop.
+  void (*pairwise_tile[kMetricCount])(const double* arows, const double* brows,
+                                      std::size_t dim, std::size_t m,
+                                      std::size_t n, double* out,
+                                      std::size_t ldo);
 };
 
 enum class IsaLevel {
   Scalar,
   Avx2,
   Avx512,
+  Neon,
 };
 
 [[nodiscard]] std::string_view to_string(IsaLevel level) noexcept;

@@ -1,0 +1,76 @@
+// ARM NEON (AdvSIMD) kernel table: 2 points per 128-bit register.
+//
+// AdvSIMD is part of the aarch64 baseline, so this translation unit
+// needs no extra ISA flag — it is compiled whenever the target is
+// aarch64 (CMake defines KC_HAVE_NEON_TU) and the whole file is
+// additionally self-gated on __aarch64__ so an x86 build that globs it
+// stays empty. It is still compiled with an explicit -ffp-contract=off
+// source property: aarch64 has fused multiply-add (fmla) and the
+// bit-identical-to-scalar contract forbids contraction here exactly as
+// it does in the AVX TUs.
+//
+// The one semantic trap is min/max: vminq_f64/vmaxq_f64 implement IEEE
+// minNum/maxNum (NaN is *dropped*, and the tie behavior differs from
+// x86's vminpd), which does not reproduce the scalar strict-< update.
+// The contract needs "second operand wins ties and NaN", so vmin/vmax
+// are built from an explicit compare-and-select instead.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "geom/kernels_simd_impl.hpp"
+
+namespace kc::simd {
+
+namespace {
+
+struct VecNeon {
+  static constexpr std::size_t kWidth = 2;
+  using reg = float64x2_t;
+
+  static reg zero() { return vdupq_n_f64(0.0); }
+  static reg set1(double v) { return vdupq_n_f64(v); }
+  static reg loadu(const double* p) { return vld1q_f64(p); }
+  static void storeu(double* p, reg v) { vst1q_f64(p, v); }
+  static reg add(reg a, reg b) { return vaddq_f64(a, b); }
+  static reg sub(reg a, reg b) { return vsubq_f64(a, b); }
+  static reg mul(reg a, reg b) { return vmulq_f64(a, b); }
+  // Select a only where a < b (resp. a > b): b wins ties and NaN, the
+  // same per-lane behavior as x86 vminpd/vmaxpd with the candidate
+  // first, i.e. exactly the scalar strict-< / strict-> updates.
+  static reg vmin(reg a, reg b) { return vbslq_f64(vcltq_f64(a, b), a, b); }
+  static reg vmax(reg a, reg b) { return vbslq_f64(vcgtq_f64(a, b), a, b); }
+  static reg vabs(reg v) { return vabsq_f64(v); }
+
+  static reg load_strided(const double* p, std::size_t stride) {
+    return vcombine_f64(vld1_f64(p), vld1_f64(p + stride));
+  }
+  static reg load_rows(const double* const* rows, std::size_t d) {
+    return vcombine_f64(vld1_f64(rows[0] + d), vld1_f64(rows[1] + d));
+  }
+
+  /// Splits 2 consecutive dim-2 rows [x0 y0 x1 y1] into coordinate
+  /// vectors [x0 x1], [y0 y1] with one structured load.
+  static void deinterleave2(const double* p, reg& x, reg& y) {
+    const float64x2x2_t t = vld2q_f64(p);
+    x = t.val[0];
+    y = t.val[1];
+  }
+
+  static unsigned cmpeq_mask(reg a, reg b) {
+    const uint64x2_t eq = vceqq_f64(a, b);
+    return static_cast<unsigned>((vgetq_lane_u64(eq, 0) & 1u) |
+                                 ((vgetq_lane_u64(eq, 1) & 1u) << 1));
+  }
+};
+
+constexpr KernelTable kNeonTable = make_kernel_table<VecNeon>("neon");
+
+}  // namespace
+
+// Internal hook for kernels.cpp's dispatch.
+const KernelTable& neon_kernel_table() noexcept { return kNeonTable; }
+
+}  // namespace kc::simd
+
+#endif  // __aarch64__

@@ -37,6 +37,13 @@ void nearest_multi_contig_fn(const double* rows, std::size_t dim,
   scalar::nearest_multi_contig(rows, dim, n, centers, ncenters, best, Pair);
 }
 
+template <double (*Pair)(const double*, const double*, std::size_t)>
+void pairwise_tile_fn(const double* arows, const double* brows,
+                      std::size_t dim, std::size_t m, std::size_t n,
+                      double* out, std::size_t ldo) {
+  scalar::pairwise_tile(arows, brows, dim, m, n, out, ldo, Pair);
+}
+
 constexpr KernelTable kScalarTable = {
     "scalar",
     {scalar::l2sq, scalar::l1, scalar::linf},
@@ -49,6 +56,8 @@ constexpr KernelTable kScalarTable = {
     {nearest_multi_contig_fn<scalar::l2sq>, nearest_multi_contig_fn<scalar::l1>,
      nearest_multi_contig_fn<scalar::linf>},
     scalar::argmax,
+    {pairwise_tile_fn<scalar::l2sq>, pairwise_tile_fn<scalar::l1>,
+     pairwise_tile_fn<scalar::linf>},
 };
 
 }  // namespace

@@ -132,6 +132,23 @@ inline void nearest_multi_contig(const double* rows, std::size_t dim,
   }
 }
 
+/// Dense m x n distance tile: out[i * ldo + j] = pair(arows_i, brows_j).
+/// Row-major over the a rows, columns in ascending b order — the exact
+/// per-pair operation sequence the old per-pair matrix loop performed,
+/// so the tiled engine's scalar reference is bit-identical to it.
+template <typename Pair>
+inline void pairwise_tile(const double* arows, const double* brows,
+                          std::size_t dim, std::size_t m, std::size_t n,
+                          double* out, std::size_t ldo, Pair&& pair) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a = arows + i * dim;
+    double* row = out + i * ldo;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = pair(a, brows + j * dim, dim);
+    }
+  }
+}
+
 [[nodiscard]] inline std::size_t argmax(const double* values,
                                         std::size_t n) noexcept {
   std::size_t best = 0;

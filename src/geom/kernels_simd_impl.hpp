@@ -330,6 +330,66 @@ struct SimdKernels {
     }
   }
 
+  /// Dense m x n tile, vectorized across the b rows: lane j of a
+  /// register holds b point j's running accumulator, and per coordinate
+  /// the broadcast a value is subtracted in the scalar operand order
+  /// (a - b). Each lane therefore performs exactly the scalar pair
+  /// fold, and a tile is bit-identical to m*n scalar pair calls. The
+  /// ragged column tail runs masked (AVX-512) or through the scalar
+  /// pair kernel.
+  static void pairwise_tile(const double* arows, const double* brows,
+                            std::size_t dim, std::size_t m, std::size_t n,
+                            double* out, std::size_t ldo) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* a = arows + i * dim;
+      double* row = out + i * ldo;
+      std::size_t j = 0;
+      if (dim == 2) {
+        const reg a0 = V::set1(a[0]);
+        const reg a1 = V::set1(a[1]);
+        for (; j + W <= n; j += W) {
+          reg x, y;
+          V::deinterleave2(brows + 2 * j, x, y);
+          V::storeu(row + j,
+                    accum(accum(V::zero(), V::sub(a0, x)), V::sub(a1, y)));
+        }
+      } else {
+        for (; j + W <= n; j += W) {
+          const double* b = brows + dim * j;
+          reg acc = V::zero();
+          for (std::size_t d = 0; d < dim; ++d) {
+            acc = accum(acc, V::sub(V::set1(a[d]), V::load_strided(b + d, dim)));
+          }
+          V::storeu(row + j, acc);
+        }
+      }
+      if (j < n) {
+        if constexpr (HasMaskedTail<V>) {
+          const std::size_t r = n - j;
+          const auto mask = V::tail_mask(r);
+          reg acc;
+          if (dim == 2) {
+            reg x, y;
+            V::maskz_deinterleave2(brows + 2 * j, r, x, y);
+            acc = accum(accum(V::zero(), V::sub(V::set1(a[0]), x)),
+                        V::sub(V::set1(a[1]), y));
+          } else {
+            acc = V::zero();
+            for (std::size_t d = 0; d < dim; ++d) {
+              acc = accum(acc,
+                          V::sub(V::set1(a[d]),
+                                 V::maskz_load_strided(brows + dim * j + d,
+                                                       dim, r)));
+            }
+          }
+          V::mask_storeu(row + j, mask, acc);
+        } else {
+          for (; j < n; ++j) row[j] = kPair(a, brows + dim * j, dim);
+        }
+      }
+    }
+  }
+
   static void nearest_multi_gather(const double* coords, std::size_t dim,
                                    const index_t* ids, std::size_t n,
                                    const double* const* centers,
@@ -414,6 +474,7 @@ constexpr KernelTable make_kernel_table(const char* name) {
       {&L2::nearest_multi_contig, &L1::nearest_multi_contig,
        &Li::nearest_multi_contig},
       &simd_argmax<V>,
+      {&L2::pairwise_tile, &L1::pairwise_tile, &Li::pairwise_tile},
   };
 }
 

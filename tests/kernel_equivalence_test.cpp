@@ -26,7 +26,8 @@ using simd::KernelTable;
 
 std::vector<IsaLevel> simd_levels_available() {
   std::vector<IsaLevel> out;
-  for (const IsaLevel level : {IsaLevel::Avx2, IsaLevel::Avx512}) {
+  for (const IsaLevel level :
+       {IsaLevel::Avx2, IsaLevel::Avx512, IsaLevel::Neon}) {
     if (simd::isa_compiled(level) && simd::isa_supported(level)) {
       out.push_back(level);
     }
@@ -323,6 +324,137 @@ TEST_P(KernelEquivalence, BlockedMultiMatchesRepeatedSingleCenterPasses) {
           expect_bit_identical(got, want_c);
         }
       }
+    }
+  }
+}
+
+// Tiled pairwise kernel: the raw m x n tile must match the scalar
+// reference bit for bit on every ISA, for ragged shapes on both sides,
+// and a padded output stride (ldo > n) must leave the padding
+// untouched — the engine reuses one tile buffer, so a stray lane store
+// would smear stale distances into later tiles.
+TEST_P(KernelEquivalence, TiledPairwiseBitIdenticalAcrossIsas) {
+  const auto levels = simd_levels_available();
+  if (levels.empty()) GTEST_SKIP() << "no SIMD kernels on this host";
+  const KernelTable* scalar = simd::kernels_for(IsaLevel::Scalar);
+  const auto m = static_cast<std::size_t>(GetParam());
+  constexpr double kGuard = -1234.5;
+
+  Rng rng(133);
+  for (std::size_t dim = 1; dim <= 16; ++dim) {
+    for (const std::size_t rows : {1u, 2u, 3u, 7u, 8u}) {
+      for (const std::size_t cols : {1u, 3u, 4u, 5u, 8u, 9u, 13u, 31u}) {
+        const auto arows = random_coords(rows * dim, rng);
+        const auto brows = random_coords(cols * dim, rng);
+        std::vector<double> want(rows * cols);
+        scalar->pairwise_tile[m](arows.data(), brows.data(), dim, rows, cols,
+                                 want.data(), cols);
+        for (const IsaLevel level : levels) {
+          const KernelTable* table = simd::kernels_for(level);
+          SCOPED_TRACE(std::string(table->name) + " dim=" +
+                       std::to_string(dim) + " m=" + std::to_string(rows) +
+                       " n=" + std::to_string(cols));
+          // Tight stride, with guards after the last element.
+          std::vector<double> got(rows * cols + 8, kGuard);
+          table->pairwise_tile[m](arows.data(), brows.data(), dim, rows, cols,
+                                  got.data(), cols);
+          for (std::size_t i = rows * cols; i < got.size(); ++i) {
+            EXPECT_EQ(got[i], kGuard) << "overstore at " << i;
+          }
+          got.resize(rows * cols);
+          expect_bit_identical(got, want);
+
+          // Padded stride: row r lives at r * (cols + 3); the 3-slot
+          // gaps must keep their guard values.
+          const std::size_t ldo = cols + 3;
+          std::vector<double> padded(rows * ldo, kGuard);
+          table->pairwise_tile[m](arows.data(), brows.data(), dim, rows, cols,
+                                  padded.data(), ldo);
+          std::vector<double> unpadded;
+          unpadded.reserve(rows * cols);
+          for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+              unpadded.push_back(padded[r * ldo + c]);
+            }
+            for (std::size_t c = cols; c < ldo; ++c) {
+              EXPECT_EQ(padded[r * ldo + c], kGuard)
+                  << "padding overwrite at row " << r << " col " << c;
+            }
+          }
+          expect_bit_identical(unpadded, want);
+        }
+      }
+    }
+  }
+}
+
+// Oracle-level tile streams: pairwise_tiles / pairwise_upper_tiles on
+// every ISA table must reassemble into exactly the per-pair scalar
+// comparable() values, over both contiguous and gathered id spans —
+// this is the contract that lets HS, brute force and the evaluation
+// scans stream tiles without changing a single output byte.
+TEST_P(KernelEquivalence, TiledOracleStreamsMatchPerPairScalar) {
+  const auto kind = GetParam();
+  Rng rng(201);
+  constexpr std::size_t kPoints = 300;  // >= the largest id span below
+  constexpr std::size_t kDim = 5;
+  PointSet ps(kPoints, kDim);
+  for (index_t i = 0; i < kPoints; ++i) {
+    for (auto& c : ps.mutable_point(i)) c = rng.uniform(-50.0, 50.0);
+  }
+
+  std::vector<const KernelTable*> tables{simd::kernels_for(IsaLevel::Scalar)};
+  for (const IsaLevel level : simd_levels_available()) {
+    tables.push_back(simd::kernels_for(level));
+  }
+
+  DistanceOracle reference(ps, kind);
+  reference.force_kernels(simd::kernels_for(IsaLevel::Scalar));
+
+  for (const auto& layout : kLayouts) {
+    const auto a_ids = layout.make(17, kPoints, rng);
+    const auto b_ids = layout.make(260, kPoints, rng);  // > one tile column
+    // Per-pair scalar reference for the rectangle.
+    std::vector<double> want;
+    want.reserve(a_ids.size() * b_ids.size());
+    for (const index_t a : a_ids) {
+      for (const index_t b : b_ids) {
+        want.push_back(reference.comparable(a, b));
+      }
+    }
+    for (const KernelTable* table : tables) {
+      SCOPED_TRACE(std::string(table->name) + " layout=" + layout.name);
+      DistanceOracle oracle(ps, kind);
+      oracle.force_kernels(table);
+      std::vector<double> got(a_ids.size() * b_ids.size(), 0.0);
+      oracle.pairwise_tiles(
+          a_ids, b_ids,
+          [&](std::size_t i0, std::size_t j0, std::size_t tm, std::size_t tn,
+              const double* tile, std::size_t ldt) {
+            for (std::size_t r = 0; r < tm; ++r) {
+              for (std::size_t c = 0; c < tn; ++c) {
+                got[(i0 + r) * b_ids.size() + (j0 + c)] = tile[r * ldt + c];
+              }
+            }
+          });
+      expect_bit_identical(got, want);
+
+      // Upper-triangle stream vs the scalar dense matrix adapter.
+      const auto ids = layout.make(61, kPoints, rng);
+      const std::vector<double> dense = reference.pairwise_comparable(ids);
+      std::vector<double> upper(ids.size() * ids.size(), 0.0);
+      oracle.pairwise_upper_tiles(
+          ids, [&](std::size_t i0, std::size_t j0, std::size_t tm,
+                   std::size_t tn, const double* tile, std::size_t ldt) {
+            for (std::size_t r = 0; r < tm; ++r) {
+              for (std::size_t c = 0; c < tn; ++c) {
+                const double v = tile[r * ldt + c];
+                upper[(i0 + r) * ids.size() + (j0 + c)] = v;
+                upper[(j0 + c) * ids.size() + (i0 + r)] = v;
+              }
+            }
+          });
+      expect_bit_identical(upper, dense);
     }
   }
 }

@@ -1,0 +1,27 @@
+// Fixture: the topology-aware scheduler's placement-hint idiom with
+// its rationale comments stripped. The pinning path posts a relaxed
+// per-slot inbox hint on submit and polls it on the worker's drain
+// path; in src/ every one of those weak-order accesses carries a
+// written rationale, and this fixture keeps the memory-order rule
+// honest on exactly that shape — both the store and the load side.
+#include <atomic>
+
+namespace fixture {
+
+// expect: memory-order
+inline void post_inbox_hint(std::atomic<bool>& hint) {
+  int pad = 0;
+  pad += 1;
+  (void)pad;
+  hint.store(true, std::memory_order_relaxed);
+}
+
+// expect: memory-order
+inline bool poll_inbox_hint(const std::atomic<bool>& hint) {
+  int pad = 0;
+  pad += 1;
+  (void)pad;
+  return hint.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

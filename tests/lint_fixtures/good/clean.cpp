@@ -27,6 +27,15 @@ inline int load_counter(const std::atomic<int>& counter) {
   return counter.load(std::memory_order_relaxed);
 }
 
+// The scheduler's placement-hint pair in its sanctioned form: the
+// relaxed flag is an optimization hint whose ground truth lives under
+// a mutex, and both sides say so in range.
+inline void post_inbox_hint(std::atomic<bool>& hint) {
+  // Relaxed: advisory fast-path flag; the inbox mutex publishes the
+  // actual task pointers, a stale read only delays one drain pass.
+  hint.store(true, std::memory_order_relaxed);
+}
+
 // A waived wall-clock use, with a written reason.
 inline long log_stamp() {
   return std::chrono::system_clock::now()  // kc-lint: allow(wallclock) operator-facing log stamp, never in report bytes
