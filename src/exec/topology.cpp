@@ -74,8 +74,10 @@ namespace {
   return topo;
 }
 
-[[nodiscard]] Topology probe() {
-  const std::string cpu_root = "/sys/devices/system/cpu";
+}  // namespace
+
+Topology probe_topology(const ProbeOptions& opts) {
+  const std::string cpu_root = opts.sysfs_root + "/cpu";
   const auto online = read_line(cpu_root + "/online");
   std::vector<int> ids = online ? parse_cpu_list(*online) : std::vector<int>{};
   if (ids.empty()) return fallback_topology();
@@ -89,7 +91,7 @@ namespace {
   std::vector<std::pair<int, int>> node_of;  // (cpu id, node)
   {
     std::error_code ec;
-    std::filesystem::directory_iterator it("/sys/devices/system/node", ec);
+    std::filesystem::directory_iterator it(opts.sysfs_root + "/node", ec);
     if (!ec) {
       for (const auto& entry : it) {
         const std::string name = entry.path().filename().string();
@@ -113,23 +115,36 @@ namespace {
   // Intersect with the process affinity mask: a container cpuset (or
   // taskset) narrows the usable set, and a host we cannot fully use is
   // a host we must not re-pin.
-#ifdef __linux__
-  cpu_set_t mask;
-  CPU_ZERO(&mask);
-  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+  if (opts.affinity.has_value()) {
     std::vector<int> usable;
     usable.reserve(ids.size());
     for (const int id : ids) {
-      if (id < CPU_SETSIZE && CPU_ISSET(id, &mask)) usable.push_back(id);
+      if (std::find(opts.affinity->begin(), opts.affinity->end(), id) !=
+          opts.affinity->end()) {
+        usable.push_back(id);
+      }
     }
     if (usable.size() < ids.size()) topo.restricted = true;
     if (!usable.empty()) ids = std::move(usable);
   } else {
-    topo.restricted = true;
-  }
+#ifdef __linux__
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+      std::vector<int> usable;
+      usable.reserve(ids.size());
+      for (const int id : ids) {
+        if (id < CPU_SETSIZE && CPU_ISSET(id, &mask)) usable.push_back(id);
+      }
+      if (usable.size() < ids.size()) topo.restricted = true;
+      if (!usable.empty()) ids = std::move(usable);
+    } else {
+      topo.restricted = true;
+    }
 #else
-  topo.restricted = true;
+    topo.restricted = true;
 #endif
+  }
 
   std::set<int> nodes;
   std::set<std::pair<int, int>> cores;  // (package, core id)
@@ -161,8 +176,6 @@ namespace {
   return topo;
 }
 
-}  // namespace
-
 std::string_view to_string(PinMode mode) noexcept {
   switch (mode) {
     case PinMode::Off: return "off";
@@ -189,7 +202,7 @@ PinMode env_pin_mode() noexcept {
 }
 
 const Topology& topology() noexcept {
-  static const Topology topo = probe();
+  static const Topology topo = probe_topology(ProbeOptions{});
   return topo;
 }
 

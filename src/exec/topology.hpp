@@ -20,6 +20,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -67,6 +68,24 @@ struct Topology {
   /// the kernel (or the container runtime) already placed us.
   bool restricted = false;
 };
+
+/// Inputs of one probe, exposed so tests can point the parser at a
+/// synthetic sysfs tree and a fabricated affinity mask instead of the
+/// live host. Production code never constructs one: topology() probes
+/// with the defaults below.
+struct ProbeOptions {
+  /// Root holding the `cpu/` and `node/` hierarchies.
+  std::string sysfs_root = "/sys/devices/system";
+
+  /// When set, stands in for the process affinity mask: the cpu ids
+  /// this process may run on. When unset the real mask is read via
+  /// sched_getaffinity (Linux) or treated as unknowable (elsewhere).
+  std::optional<std::vector<int>> affinity;
+};
+
+/// One uncached probe of `opts.sysfs_root`. The seam behind
+/// topology(); deterministic given a fixed tree and affinity.
+[[nodiscard]] Topology probe_topology(const ProbeOptions& opts);
 
 /// The process-wide topology, probed on first use and cached.
 [[nodiscard]] const Topology& topology() noexcept;

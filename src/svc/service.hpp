@@ -299,8 +299,9 @@ class ServiceLoop {
       deadlines_ KC_GUARDED_BY(deadline_mutex_);
   bool deadline_stop_ KC_GUARDED_BY(deadline_mutex_) = false;
   // Started/joined only by the owning thread in run(); never touched
-  // by the workers it watches.
-  // kc-lint: allow(guarded-by) owner-thread-only lifecycle handle
+  // by the workers it watches. Expiring: PR14 should fold the two
+  // helper threads into a lifecycle struct with its own discipline.
+  // kc-lint: allow(guarded-by, until=PR14) owner-thread-only lifecycle handle
   std::thread deadline_thread_;
 
   /// Watchdog state: one entry per executing attempt, keyed by the
@@ -318,8 +319,9 @@ class ServiceLoop {
       KC_GUARDED_BY(watchdog_mutex_);
   bool watchdog_stop_ KC_GUARDED_BY(watchdog_mutex_) = false;
   // Started/joined only by the owning thread in run(); never touched
-  // by the workers it watches.
-  // kc-lint: allow(guarded-by) owner-thread-only lifecycle handle
+  // by the workers it watches. Expiring: PR14 should fold the two
+  // helper threads into a lifecycle struct with its own discipline.
+  // kc-lint: allow(guarded-by, until=PR14) owner-thread-only lifecycle handle
   std::thread watchdog_thread_;
 };
 

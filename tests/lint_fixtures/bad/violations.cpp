@@ -15,12 +15,11 @@ inline unsigned ambient_seed() { return std::random_device{}(); }
 // expect: wallclock
 inline auto wall_now() { return std::chrono::system_clock::now(); }
 
-// expect: unordered-iter
-inline std::unordered_map<int, int> report_index;
-
-// expect: memory-order
-// (the marker comment sits more than three lines above the access, so
-// it cannot itself satisfy the nearby-rationale requirement)
+// Retired rules stay retired: an unordered container and a bare
+// relaxed order draw no regex finding anymore (the clang-tidy plugin
+// owns both contracts now) — no expect markers here, and the
+// self-test's surplus check holds kc_lint to that.
+inline std::unordered_map<int, int> scratch_index;
 inline int bare_relaxed(const std::atomic<int>& v) {
   int pad = 0;
   pad += 1;
@@ -32,6 +31,20 @@ inline int bare_relaxed(const std::atomic<int>& v) {
 // expect: waiver
 inline auto bare_waiver() {
   return std::rand();  // kc-lint: allow(entropy)
+}
+
+// An expiring waiver past its deadline: the wallclock finding stays
+// suppressed (one finding per line of debt, not two) but the expiry
+// itself fires. PR3 is in this repo's past by construction.
+// expect: waiver-expired
+inline auto stale_waiver() {
+  return std::chrono::system_clock::now();  // kc-lint: allow(wallclock, until=PR3) bring-up shim
+}
+
+// An unknown keyword term is a malformed waiver.
+// expect: waiver
+inline auto typoed_waiver() {
+  return std::rand();  // kc-lint: allow(entropy, till=PR99) reads seed file
 }
 
 }  // namespace fixture

@@ -43,4 +43,12 @@ inline long log_stamp() {
       .count();
 }
 
+// An expiring waiver whose deadline is still ahead: suppresses the
+// finding and stays silent itself until the repo reaches PR9999.
+inline long deferred_cleanup_stamp() {
+  return std::chrono::system_clock::now()  // kc-lint: allow(wallclock, until=PR9999) scaffold for the ops log rework
+      .time_since_epoch()
+      .count();
+}
+
 }  // namespace fixture

@@ -1,0 +1,59 @@
+// kc-atomic-rationale bad fixture: weakened memory orders with no
+// rationale comment nearby. Markers use expect-above because a marker
+// on (or just above) the offending line would itself satisfy the
+// comment-proximity rule the check enforces.
+//
+// The std mock mirrors the C++11 shape: a plain enum whose enumerators
+// are what the check's hasAnyName list resolves against.
+namespace std {
+enum memory_order {
+  memory_order_relaxed,
+  memory_order_consume,
+  memory_order_acquire,
+  memory_order_release,
+  memory_order_acq_rel,
+  memory_order_seq_cst
+};
+template <class T>
+struct atomic {
+  T load(memory_order) const;
+  void store(T, memory_order);
+  bool compare_exchange_weak(T &, T, memory_order, memory_order);
+};
+}  // namespace std
+
+namespace kc {
+
+std::atomic<int> counter;
+std::atomic<bool> flag;
+
+int read_counter() {
+  return counter.load(std::memory_order_relaxed);
+  // expect-above: kc-atomic-rationale
+}
+
+void publish() {
+  flag.store(true, std::memory_order_release);
+  // expect-above: kc-atomic-rationale
+}
+
+bool try_claim(int want) {
+  int expected = 0;
+
+  return counter.compare_exchange_weak(expected, want, std::memory_order_acq_rel, std::memory_order_acquire);
+  // expect-above: kc-atomic-rationale
+}
+
+// An alias does not launder the order: the reference below still
+// resolves to the enumerator declaration. The blank lines are load
+// bearing: they keep this block outside the check's 3-line
+// comment-proximity window for the alias declaration.
+
+
+
+constexpr auto kSneakyOrder = std::memory_order_consume;
+// expect-above: kc-atomic-rationale
+
+int read_via_alias() { return counter.load(kSneakyOrder); }
+
+}  // namespace kc

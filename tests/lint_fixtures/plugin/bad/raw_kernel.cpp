@@ -1,0 +1,27 @@
+// kc-raw-kernel bad fixture: code outside src/geom/ calling the kernel
+// table accessors and the table's function-pointer members directly,
+// bypassing the DistanceOracle budget/cancel gates. The corpus runs
+// with AllowedDirs=src/geom/ so this file counts as "outside".
+namespace kc::simd {
+struct KernelTable {
+  double (*pair)(const double *, const double *, unsigned);
+  unsigned (*argmax)(const double *, unsigned);
+  int width;
+};
+const KernelTable &active_kernels();
+const KernelTable &kernels_for(int isa);
+}  // namespace kc::simd
+
+// Aliases must not launder the access: the check resolves the decl,
+// not the spelling.
+using kc::simd::active_kernels;
+
+double sneak_distance(const double *a, const double *b, unsigned dim) {
+  const auto &kt = active_kernels();  // expect: kc-raw-kernel
+  return kt.pair(a, b, dim);  // expect: kc-raw-kernel
+}
+
+unsigned sneak_argmax(const double *row, unsigned n) {
+  const kc::simd::KernelTable &kt = kc::simd::kernels_for(2);  // expect: kc-raw-kernel
+  return kt.argmax(row, n);  // expect: kc-raw-kernel
+}

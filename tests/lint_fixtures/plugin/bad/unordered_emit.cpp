@@ -1,0 +1,54 @@
+// kc-unordered-emit bad fixture: hash-ordered iteration feeding report
+// sinks — directly, through a helper one call away (the case the
+// retired regex rule could never see), and via an explicit iterator
+// loop.
+namespace std {
+template <class K, class V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  struct iterator {
+    value_type *p;
+    value_type &operator*() const { return *p; }
+    iterator &operator++() {
+      ++p;
+      return *this;
+    }
+    bool operator!=(const iterator &o) const { return p != o.p; }
+  };
+  iterator begin() const;
+  iterator end() const;
+};
+}  // namespace std
+
+namespace kc::harness {
+void write_row(int key, int value);  // report sink
+}  // namespace kc::harness
+
+namespace kc {
+
+using Counts = std::unordered_map<int, int>;
+
+// Direct: the iterating function calls the sink itself.
+void report_counts(const Counts &counts) {
+  for (const auto &kv : counts)  // expect: kc-unordered-emit
+    harness::write_row(kv.first, kv.second);
+}
+
+void forward_row(int key, int value) { harness::write_row(key, value); }
+
+// Indirect: the sink is one call away; reachability must follow it.
+void report_via_helper(const Counts &counts) {
+  for (const auto &kv : counts)  // expect: kc-unordered-emit
+    forward_row(kv.first, kv.second);
+}
+
+// Explicit iterator loop, same reachability.
+void report_iterators(const Counts &counts) {
+  for (auto it = counts.begin(); it != counts.end(); ++it)  // expect: kc-unordered-emit
+    forward_row((*it).first, (*it).second);
+}
+
+}  // namespace kc

@@ -1,0 +1,53 @@
+// kc-wait-loop bad fixture: CondVar waits that are (a) not in a loop
+// at all and (b) in a loop whose condition reads a member that is not
+// guarded by the mutex held across the wait.
+namespace kc::compat {
+struct __attribute__((capability("mutex"))) Mutex {
+  void lock();
+  void unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex &m);
+  ~MutexLock();
+  void lock();
+  void unlock();
+};
+struct CondVar {
+  void wait(MutexLock &lk);
+  template <class Rep>
+  bool wait_for(MutexLock &lk, Rep d);
+  void notify_one();
+  void notify_all();
+};
+}  // namespace kc::compat
+
+#define KC_GUARDED_BY(m) __attribute__((guarded_by(m)))
+
+namespace kc {
+
+class Mailbox {
+ public:
+  void take_once();
+  void spin_on_hint();
+
+ private:
+  compat::Mutex mutex_;
+  int items_ KC_GUARDED_BY(mutex_) = 0;
+  bool hint_ = false;  // deliberately unguarded
+  compat::CondVar ready_;
+};
+
+void Mailbox::take_once() {
+  compat::MutexLock lock(mutex_);
+  ready_.wait(lock);  // expect: kc-wait-loop
+  items_ -= 1;
+}
+
+void Mailbox::spin_on_hint() {
+  compat::MutexLock lock(mutex_);
+  while (!hint_)
+    ready_.wait(lock);  // expect: kc-wait-loop
+  items_ -= 1;
+}
+
+}  // namespace kc

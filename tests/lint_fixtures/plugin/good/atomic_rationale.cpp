@@ -1,0 +1,46 @@
+// kc-atomic-rationale good fixture: every weakened order carries a
+// rationale within the window (same line or the 3 lines above), and
+// seq_cst — the default that needs no justification — appears bare.
+namespace std {
+enum memory_order {
+  memory_order_relaxed,
+  memory_order_consume,
+  memory_order_acquire,
+  memory_order_release,
+  memory_order_acq_rel,
+  memory_order_seq_cst
+};
+template <class T>
+struct atomic {
+  T load(memory_order) const;
+  void store(T, memory_order);
+  bool compare_exchange_weak(T &, T, memory_order, memory_order);
+};
+}  // namespace std
+
+namespace kc {
+
+std::atomic<int> counter;
+std::atomic<bool> flag;
+
+int read_counter() {
+  // relaxed: monotonic odometer, read for stats only; no ordering
+  // needed against any other memory.
+  return counter.load(std::memory_order_relaxed);
+}
+
+void publish() {
+  flag.store(true, std::memory_order_release);  // pairs with acquire in consume_side()
+}
+
+bool consume_side() {
+  // acquire: pairs with the release store in publish(); everything
+  // written before the store is visible after this load.
+  return flag.load(std::memory_order_acquire);
+}
+
+int strict_read() {
+  return counter.load(std::memory_order_seq_cst);
+}
+
+}  // namespace kc

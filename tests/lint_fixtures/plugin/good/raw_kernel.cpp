@@ -1,0 +1,31 @@
+// kc-raw-kernel good fixture: distance work routed through the oracle
+// facade; mentioning KernelTable in a type position (no call) and
+// reading a non-function member are both fine — only calls through the
+// accessors or the table's function pointers are gated.
+namespace kc::simd {
+struct KernelTable {
+  double (*pair)(const double *, const double *, unsigned);
+  int width;
+};
+const KernelTable &active_kernels();
+}  // namespace kc::simd
+
+namespace kc::geom {
+class DistanceOracle {
+ public:
+  double distance(unsigned a, unsigned b) const;
+  unsigned farthest_from(unsigned a) const;
+};
+}  // namespace kc::geom
+
+double legit_distance(const kc::geom::DistanceOracle &oracle, unsigned a,
+                      unsigned b) {
+  return oracle.distance(a, b);
+}
+
+unsigned legit_farthest(const kc::geom::DistanceOracle &oracle, unsigned a) {
+  return oracle.farthest_from(a);
+}
+
+// A type-only mention: declaring a pointer to the table is not a call.
+const kc::simd::KernelTable *stashed = nullptr;

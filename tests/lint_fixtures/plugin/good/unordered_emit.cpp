@@ -1,0 +1,65 @@
+// kc-unordered-emit good fixture: unordered iteration is fine when the
+// function cannot reach a report sink (pure reduction — the result is
+// order-independent and nothing is emitted), and emission is fine when
+// it walks an ordered container.
+namespace std {
+template <class K, class V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  struct iterator {
+    value_type *p;
+    value_type &operator*() const { return *p; }
+    iterator &operator++() {
+      ++p;
+      return *this;
+    }
+    bool operator!=(const iterator &o) const { return p != o.p; }
+  };
+  iterator begin() const;
+  iterator end() const;
+};
+template <class K, class V>
+struct map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  struct iterator {
+    value_type *p;
+    value_type &operator*() const { return *p; }
+    iterator &operator++() {
+      ++p;
+      return *this;
+    }
+    bool operator!=(const iterator &o) const { return p != o.p; }
+  };
+  iterator begin() const;
+  iterator end() const;
+};
+}  // namespace std
+
+namespace kc::harness {
+void write_row(int key, int value);  // report sink
+}  // namespace kc::harness
+
+namespace kc {
+
+// Order-independent reduction: iterates the hash map but reaches no
+// sink, so the hash order cannot leak into any artifact.
+int total(const std::unordered_map<int, int> &counts) {
+  int sum = 0;
+  for (const auto &kv : counts)
+    sum += kv.second;
+  return sum;
+}
+
+// Emission from an ordered container: deterministic by construction.
+void report_sorted(const std::map<int, int> &counts) {
+  for (const auto &kv : counts)
+    harness::write_row(kv.first, kv.second);
+}
+
+}  // namespace kc

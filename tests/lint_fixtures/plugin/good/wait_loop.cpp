@@ -1,0 +1,68 @@
+// kc-wait-loop good fixture: the repo's sanctioned wait shapes — a
+// while loop re-reading a KC_GUARDED_BY member of the held mutex, a
+// timed wait in the same shape, and the for(;;) + guarded-if-break
+// idiom.
+namespace kc::compat {
+struct __attribute__((capability("mutex"))) Mutex {
+  void lock();
+  void unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex &m);
+  ~MutexLock();
+  void lock();
+  void unlock();
+};
+struct CondVar {
+  void wait(MutexLock &lk);
+  template <class Rep>
+  bool wait_for(MutexLock &lk, Rep d);
+  void notify_one();
+  void notify_all();
+};
+}  // namespace kc::compat
+
+#define KC_GUARDED_BY(m) __attribute__((guarded_by(m)))
+
+namespace kc {
+
+class Mailbox {
+ public:
+  void take();
+  bool take_timed(int budget_ms);
+  void drain();
+
+ private:
+  compat::Mutex mutex_;
+  int items_ KC_GUARDED_BY(mutex_) = 0;
+  bool closed_ KC_GUARDED_BY(mutex_) = false;
+  compat::CondVar ready_;
+};
+
+void Mailbox::take() {
+  compat::MutexLock lock(mutex_);
+  while (items_ == 0 && !closed_)
+    ready_.wait(lock);
+  items_ -= 1;
+}
+
+bool Mailbox::take_timed(int budget_ms) {
+  compat::MutexLock lock(mutex_);
+  while (items_ == 0) {
+    if (!ready_.wait_for(lock, budget_ms))
+      return false;
+  }
+  items_ -= 1;
+  return true;
+}
+
+void Mailbox::drain() {
+  compat::MutexLock lock(mutex_);
+  for (;;) {
+    if (closed_)
+      break;
+    ready_.wait(lock);
+  }
+}
+
+}  // namespace kc

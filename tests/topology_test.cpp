@@ -1,0 +1,235 @@
+// The sysfs topology probe against synthetic /sys trees: NUMA layout
+// parsing, offline cpus, sparse node numbering, affinity-mask
+// intersection (the container-cpuset case), and the fallback shape
+// when sysfs is absent or malformed. Every tree is built in a temp
+// directory through the ProbeOptions seam — the live host never leaks
+// into these assertions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/topology.hpp"
+
+namespace kc::exec {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Builder for a synthetic /sys/devices/system tree.
+class SysTree {
+ public:
+  SysTree() {
+    root_ = fs::path(::testing::TempDir()) /
+            ("kc_systree_" +
+             std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(root_ / "cpu");
+  }
+  ~SysTree() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  SysTree& online(const std::string& list) {
+    write(root_ / "cpu" / "online", list);
+    return *this;
+  }
+
+  SysTree& node(int id, const std::string& cpulist) {
+    const fs::path dir = root_ / "node" / ("node" + std::to_string(id));
+    fs::create_directories(dir);
+    write(dir / "cpulist", cpulist);
+    return *this;
+  }
+
+  SysTree& core(int cpu, int package, int core_id) {
+    const fs::path dir =
+        root_ / "cpu" / ("cpu" + std::to_string(cpu)) / "topology";
+    fs::create_directories(dir);
+    write(dir / "physical_package_id", std::to_string(package));
+    write(dir / "core_id", std::to_string(core_id));
+    return *this;
+  }
+
+  [[nodiscard]] ProbeOptions options(
+      std::optional<std::vector<int>> affinity = std::nullopt) const {
+    ProbeOptions opts;
+    opts.sysfs_root = root_.string();
+    opts.affinity = std::move(affinity);
+    return opts;
+  }
+
+ private:
+  static void write(const fs::path& path, const std::string& text) {
+    std::ofstream out(path);
+    out << text << "\n";
+  }
+
+  fs::path root_;
+};
+
+std::vector<int> cpu_ids(const Topology& topo) {
+  std::vector<int> ids;
+  ids.reserve(topo.cpus.size());
+  for (const auto& cpu : topo.cpus) ids.push_back(cpu.id);
+  return ids;
+}
+
+TEST(TopologyProbe, TwoNodeHostParsesShape) {
+  SysTree tree;
+  tree.online("0-3")
+      .node(0, "0-1")
+      .node(1, "2-3")
+      .core(0, 0, 0)
+      .core(1, 0, 1)
+      .core(2, 1, 0)
+      .core(3, 1, 1);
+  const Topology topo =
+      probe_topology(tree.options(std::vector<int>{0, 1, 2, 3}));
+
+  EXPECT_EQ(cpu_ids(topo), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.nodes, 2);
+  EXPECT_EQ(topo.cores, 4);
+  EXPECT_EQ(topo.hw_threads, 4);
+  EXPECT_FALSE(topo.restricted);
+  EXPECT_EQ(topo.cpus[0].node, 0);
+  EXPECT_EQ(topo.cpus[2].node, 1);
+}
+
+TEST(TopologyProbe, SmtThreadsCollapseToCores) {
+  // 4 hw threads, 2 physical cores (0,2 and 1,3 are sibling pairs).
+  SysTree tree;
+  tree.online("0-3")
+      .node(0, "0-3")
+      .core(0, 0, 0)
+      .core(1, 0, 1)
+      .core(2, 0, 0)
+      .core(3, 0, 1);
+  const Topology topo =
+      probe_topology(tree.options(std::vector<int>{0, 1, 2, 3}));
+
+  EXPECT_EQ(topo.hw_threads, 4);
+  EXPECT_EQ(topo.cores, 2);
+  EXPECT_EQ(topo.nodes, 1);
+}
+
+TEST(TopologyProbe, OfflineCpusAreSkipped) {
+  // cpu1 offline: the online list has a hole, and no cpu1 entry may
+  // appear even though node0 still claims it.
+  SysTree tree;
+  tree.online("0,2-3").node(0, "0-3");
+  const Topology topo =
+      probe_topology(tree.options(std::vector<int>{0, 1, 2, 3}));
+
+  EXPECT_EQ(cpu_ids(topo), (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(topo.hw_threads, 3);
+  // No topology dirs: every thread counts as its own core.
+  EXPECT_EQ(topo.cores, 3);
+}
+
+TEST(TopologyProbe, SparseNodeNumberingSurvives) {
+  // Nodes 0 and 4 exist (2 populated nodes on a possible-8 host);
+  // unclaimed cpus fall to node 0.
+  SysTree tree;
+  tree.online("0-4").node(0, "0-1").node(4, "2-3");
+  const Topology topo =
+      probe_topology(tree.options(std::vector<int>{0, 1, 2, 3, 4}));
+
+  EXPECT_EQ(topo.nodes, 2);
+  EXPECT_EQ(topo.cpus[2].node, 4);
+  EXPECT_EQ(topo.cpus[3].node, 4);
+  EXPECT_EQ(topo.cpus[4].node, 0);  // cpu4 unclaimed by any node dir
+}
+
+TEST(TopologyProbe, RestrictedAffinityNarrowsAndFlags) {
+  // A container cpuset pinning us to node 0's half of the machine:
+  // the probe must shrink to the mask AND brand the host restricted,
+  // so the scheduler never re-pins.
+  SysTree tree;
+  tree.online("0-3").node(0, "0-1").node(1, "2-3");
+  const Topology topo = probe_topology(tree.options(std::vector<int>{0, 1}));
+
+  EXPECT_EQ(cpu_ids(topo), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(topo.restricted);
+  EXPECT_EQ(topo.nodes, 1);
+}
+
+TEST(TopologyProbe, AffinityMaskOutsideOnlineSetIsIgnored) {
+  SysTree tree;
+  tree.online("0-1").node(0, "0-1");
+  const Topology topo =
+      probe_topology(tree.options(std::vector<int>{0, 1, 7, 9}));
+
+  // Mask ids with no online cpu contribute nothing and do not flag.
+  EXPECT_EQ(cpu_ids(topo), (std::vector<int>{0, 1}));
+  EXPECT_FALSE(topo.restricted);
+}
+
+TEST(TopologyProbe, MalformedOnlineListFallsBack) {
+  SysTree tree;
+  tree.online("zen4-epyc");
+  const Topology topo = probe_topology(tree.options());
+
+  EXPECT_TRUE(topo.restricted);
+  EXPECT_EQ(topo.nodes, 1);
+  EXPECT_EQ(topo.hw_threads,
+            static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency())));
+  EXPECT_FALSE(topo.cpus.empty());
+}
+
+TEST(TopologyProbe, MissingTreeFallsBack) {
+  ProbeOptions opts;
+  opts.sysfs_root = "/nonexistent/kc-topology-test";
+  const Topology topo = probe_topology(opts);
+
+  EXPECT_TRUE(topo.restricted);
+  EXPECT_EQ(topo.nodes, 1);
+  EXPECT_FALSE(topo.cpus.empty());
+}
+
+TEST(TopologyProbe, UnparseableNodeEntriesAreSkipped) {
+  // A nodeXYZ directory that is not node<int> and a node with an
+  // unreadable cpulist must not derail the probe.
+  SysTree tree;
+  tree.online("0-1").node(0, "0-1");
+  fs::create_directories(fs::path(tree.options().sysfs_root) / "node" /
+                         "node_power");
+  fs::create_directories(fs::path(tree.options().sysfs_root) / "node" /
+                         "node7");  // no cpulist file
+  const Topology topo = probe_topology(tree.options(std::vector<int>{0, 1}));
+
+  EXPECT_EQ(topo.nodes, 1);
+  EXPECT_EQ(cpu_ids(topo), (std::vector<int>{0, 1}));
+}
+
+TEST(TopologyProbe, DuplicateAndUnsortedListEntriesCollapse) {
+  SysTree tree;
+  tree.online("3,1,0-1,2").node(0, "0-3");
+  const Topology topo =
+      probe_topology(tree.options(std::vector<int>{0, 1, 2, 3}));
+
+  EXPECT_EQ(cpu_ids(topo), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TopologyProbe, LiveHostProbeStaysSane) {
+  // The cached process-wide probe on whatever host runs the suite:
+  // shape invariants only, nothing machine-specific.
+  const Topology& topo = topology();
+  EXPECT_FALSE(topo.cpus.empty());
+  EXPECT_GE(topo.nodes, 1);
+  EXPECT_GE(topo.cores, 1);
+  EXPECT_EQ(topo.hw_threads, static_cast<int>(topo.cpus.size()));
+  for (std::size_t i = 1; i < topo.cpus.size(); ++i) {
+    EXPECT_LT(topo.cpus[i - 1].id, topo.cpus[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace kc::exec

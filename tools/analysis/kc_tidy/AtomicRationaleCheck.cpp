@@ -1,0 +1,52 @@
+#include "AtomicRationaleCheck.h"
+
+#include "KCTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::kc {
+
+void AtomicRationaleCheck::registerMatchers(MatchFinder *Finder) {
+  // Both spellings families resolve to named declarations:
+  //   - C++11 libstdc++/libc++: enumerators of enum std::memory_order
+  //     (qualified std::memory_order_relaxed, ...);
+  //   - C++20: enum class std::memory_order with enumerators
+  //     (std::memory_order::relaxed) plus the inline constexpr
+  //     compatibility variables (std::memory_order_relaxed).
+  // Matching the declaration, not the token, is the whole point: an
+  // alias (`constexpr auto kOrder = std::memory_order_relaxed`), a
+  // `using std::memory_order_relaxed`, or a macro-wrapped argument
+  // still reference the same decl. seq_cst needs no rationale.
+  Finder->addMatcher(
+      declRefExpr(
+          to(namedDecl(hasAnyName(
+              "::std::memory_order_relaxed", "::std::memory_order_acquire",
+              "::std::memory_order_release", "::std::memory_order_acq_rel",
+              "::std::memory_order_consume", "::std::memory_order::relaxed",
+              "::std::memory_order::acquire", "::std::memory_order::release",
+              "::std::memory_order::acq_rel",
+              "::std::memory_order::consume"))),
+          unless(isExpansionInSystemHeader()))
+          .bind("weak-order"),
+      this);
+}
+
+void AtomicRationaleCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Ref = Result.Nodes.getNodeAs<DeclRefExpr>("weak-order");
+  if (Ref == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = SM.getExpansionLoc(Ref->getBeginLoc());
+  if (Loc.isInvalid() || SM.isInSystemHeader(Loc))
+    return;
+  if (hasNearbyComment(SM, Loc))
+    return;
+  diag(Loc,
+       "'%0' without a rationale comment; say why the weaker ordering is "
+       "sound (same line or the 3 lines above)")
+      << Ref->getDecl()->getNameAsString();
+}
+
+}  // namespace clang::tidy::kc

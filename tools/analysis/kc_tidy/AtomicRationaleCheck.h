@@ -1,0 +1,26 @@
+#ifndef KC_TIDY_ATOMIC_RATIONALE_CHECK_H
+#define KC_TIDY_ATOMIC_RATIONALE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::kc {
+
+/// Every non-seq_cst memory order must carry a rationale comment on
+/// the same line or within the three lines above — the AST-accurate
+/// replacement for the retired kc_lint `memory-order` regex rule: a
+/// reference through a namespace alias, a `using enum`, a constexpr
+/// alias variable or a defaulted template argument still resolves to
+/// the same enumerator declaration here.
+class AtomicRationaleCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::kc
+
+#endif  // KC_TIDY_ATOMIC_RATIONALE_CHECK_H

@@ -1,0 +1,42 @@
+//===--- KCTidyModule.cpp - project-specific clang-tidy checks -----------===//
+//
+// Out-of-tree clang-tidy module for the k-center repo. Loaded with
+//   clang-tidy -load=libKCTidyModule.so -checks='kc-*' ...
+// The checks encode invariants the generic clang-tidy catalogue cannot
+// express: the repo's determinism contract, its DistanceOracle budget
+// gating, and the cross-TU lock-order facts consumed by
+// tools/analysis/lock_graph.py.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AtomicRationaleCheck.h"
+#include "LockOrderCheck.h"
+#include "RawKernelCheck.h"
+#include "UnorderedEmitCheck.h"
+#include "WaitLoopCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy {
+namespace kc {
+
+class KCTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<LockOrderCheck>("kc-lock-order");
+    Factories.registerCheck<RawKernelCheck>("kc-raw-kernel");
+    Factories.registerCheck<AtomicRationaleCheck>("kc-atomic-rationale");
+    Factories.registerCheck<WaitLoopCheck>("kc-wait-loop");
+    Factories.registerCheck<UnorderedEmitCheck>("kc-unordered-emit");
+  }
+};
+
+}  // namespace kc
+
+static ClangTidyModuleRegistry::Add<kc::KCTidyModule> X(
+    "kc-module", "Adds the k-center project checks (kc-*).");
+
+// Anchor the module into the plugin so -load keeps the registration.
+volatile int KCTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

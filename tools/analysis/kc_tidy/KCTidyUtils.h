@@ -1,0 +1,86 @@
+// Shared helpers for the KC clang-tidy checks.
+//
+// Kept header-only and deliberately boring: the checks target every
+// clang-tidy from 14 up, so only bread-and-butter APIs (SourceManager
+// buffer access, AST node inspection) are used here.
+#ifndef KC_TIDY_UTILS_H
+#define KC_TIDY_UTILS_H
+
+#include <cstring>
+#include <string>
+
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang::tidy::kc {
+
+/// True when `Loc`'s line, or one of the three lines above it, carries
+/// a comment — the repo's "rationale comment in range" contract shared
+/// with tools/kc_lint.py. Works on the expansion location so macro
+/// uses are attributed to the line the developer wrote.
+inline bool hasNearbyComment(const SourceManager &SM, SourceLocation Loc) {
+  Loc = SM.getExpansionLoc(Loc);
+  bool Invalid = false;
+  StringRef Buffer = SM.getBufferData(SM.getFileID(Loc), &Invalid);
+  if (Invalid)
+    return true;  // unreadable buffer: stay permissive
+  unsigned Line = SM.getExpansionLineNumber(Loc);  // 1-based
+
+  llvm::SmallVector<StringRef, 0> Lines;
+  Buffer.split(Lines, '\n');
+  if (Line == 0 || Line > Lines.size())
+    return true;
+  const unsigned First = Line > 3 ? Line - 3 : 1;
+  for (unsigned I = First; I <= Line; ++I) {
+    StringRef Text = Lines[I - 1].trim();
+    if (I == Line) {
+      if (Text.contains("//") || Text.contains("/*") || Text.contains("*/"))
+        return true;
+      continue;
+    }
+    if (Text.startswith("//") || Text.startswith("/*") ||
+        Text.startswith("*") || Text.endswith("*/"))
+      return true;
+  }
+  return false;
+}
+
+/// Repo-style canonical name for a mutex member: `Owner::member` with
+/// the `kc::`, `compat::` and anonymous-namespace noise stripped, so
+/// the facts merge tool and the DOT artifact stay readable.
+inline std::string canonicalMemberName(const FieldDecl *Field) {
+  std::string Owner;
+  if (const auto *Record = dyn_cast<RecordDecl>(Field->getParent()))
+    Owner = Record->getQualifiedNameAsString();
+  std::string Name = Owner + "::" + Field->getNameAsString();
+  static const char *Prefixes[] = {"kc::", "(anonymous namespace)::"};
+  bool Stripped = true;
+  while (Stripped) {
+    Stripped = false;
+    for (const char *Prefix : Prefixes) {
+      StringRef Ref(Name);
+      if (Ref.startswith(Prefix)) {
+        Name = Ref.drop_front(strlen(Prefix)).str();
+        Stripped = true;
+      }
+    }
+  }
+  return Name;
+}
+
+/// Normalized path check: does `Path` (as spelled by the compilation)
+/// contain the directory fragment `Dir` (e.g. "src/geom/")?
+inline bool pathContainsDir(StringRef Path, StringRef Dir) {
+  std::string Normalized = Path.str();
+  for (char &C : Normalized)
+    if (C == '\\')
+      C = '/';
+  return StringRef(Normalized).contains(Dir);
+}
+
+}  // namespace clang::tidy::kc
+
+#endif  // KC_TIDY_UTILS_H

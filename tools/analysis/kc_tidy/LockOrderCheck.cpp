@@ -1,0 +1,364 @@
+#include "LockOrderCheck.h"
+
+#include <fstream>
+#include <set>
+
+#include "KCTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/StmtCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/Support/FileSystem.h"
+#include "llvm/Support/Path.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::kc {
+
+namespace {
+
+/// The scoped-guard types whose construction means "acquire arg0 until
+/// end of scope". The kc::compat wrappers are the repo idiom; the std
+/// types are tracked too so a TU that bypasses the wrappers still
+/// contributes ordering facts instead of a blind spot.
+bool isGuardRecord(const CXXRecordDecl *Record) {
+  if (Record == nullptr)
+    return false;
+  const std::string Name = Record->getQualifiedNameAsString();
+  return Name == "kc::compat::LockGuard" || Name == "kc::compat::MutexLock" ||
+         Name == "std::lock_guard" || Name == "std::unique_lock" ||
+         Name == "std::scoped_lock";
+}
+
+/// Resolves a mutex expression (the guard's constructor argument or a
+/// KC_REQUIRES capability expression) to the FieldDecl of the mutex
+/// member, looking through parens, casts, implicit this, and unary &.
+const FieldDecl *mutexField(const Expr *E) {
+  if (E == nullptr)
+    return nullptr;
+  E = E->IgnoreParenImpCasts();
+  if (const auto *Unary = dyn_cast<UnaryOperator>(E))
+    return mutexField(Unary->getSubExpr());
+  if (const auto *Member = dyn_cast<MemberExpr>(E))
+    return dyn_cast<FieldDecl>(Member->getMemberDecl());
+  return nullptr;
+}
+
+/// One held lock: the canonical mutex name plus the guard variable (so
+/// `lock.unlock()` can release it mid-scope; null for KC_REQUIRES
+/// entry capabilities and bare Mutex::lock() calls).
+struct Held {
+  std::string Mutex;
+  const VarDecl *Guard = nullptr;
+  const FieldDecl *Field = nullptr;
+};
+
+}  // namespace
+
+LockOrderCheck::LockOrderCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      FactsDir(Options.get("FactsDir", "")),
+      RepoRoot(Options.get("RepoRoot", "")) {}
+
+void LockOrderCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "FactsDir", FactsDir);
+  Options.store(Opts, "RepoRoot", RepoRoot);
+}
+
+void LockOrderCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      functionDecl(isDefinition(), hasBody(compoundStmt()),
+                   unless(isExpansionInSystemHeader()))
+          .bind("fn"),
+      this);
+}
+
+void LockOrderCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *FD = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (FD == nullptr || !FD->doesThisDeclarationHaveABody())
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  if (MainFile.empty()) {
+    if (const FileEntry *Entry = SM.getFileEntryForID(SM.getMainFileID())) {
+      MainFile = Entry->getName().str();
+      if (!RepoRoot.empty()) {
+        StringRef Ref(MainFile);
+        if (Ref.startswith(RepoRoot))
+          MainFile = Ref.drop_front(RepoRoot.size()).ltrim('/').str();
+      }
+    }
+  }
+  walkFunction(FD, *Result.Context, SM);
+}
+
+void LockOrderCheck::walkFunction(const FunctionDecl *FD, ASTContext &Ctx,
+                                  const SourceManager &SM) {
+  std::string Function = FD->getQualifiedNameAsString();
+  {
+    StringRef Ref(Function);
+    if (Ref.startswith("kc::"))
+      Function = Ref.drop_front(4).str();
+  }
+
+  std::vector<Held> Entry;
+  // KC_REQUIRES(m): m is held for the whole body. Negated capabilities
+  // (!m) assert absence and contribute nothing.
+  if (const auto *Attr = FD->getAttr<RequiresCapabilityAttr>()) {
+    for (const Expr *Arg : Attr->args()) {
+      if (const auto *Unary = dyn_cast<UnaryOperator>(Arg->IgnoreParens()))
+        if (Unary->getOpcode() == UO_LNot)
+          continue;
+      if (const FieldDecl *Field = mutexField(Arg))
+        Entry.push_back({canonicalMemberName(Field), nullptr, Field});
+    }
+  }
+
+  // Recursive scope walk. CompoundStmt boundaries pop the guards
+  // declared inside them; lambda bodies restart with an empty held set
+  // (the closure runs later, not under the locks of its birthplace).
+  struct Walker {
+    LockOrderCheck &Check;
+    const SourceManager &SM;
+    std::string Function;
+    std::string File;
+
+    void record(const std::string &Mutex, const std::vector<Held> &HeldNow,
+                SourceLocation Loc) {
+      Acquisition A;
+      A.Function = Function;
+      A.Mutex = Mutex;
+      std::set<std::string> Uniq;
+      for (const Held &H : HeldNow)
+        Uniq.insert(H.Mutex);
+      A.Held.assign(Uniq.begin(), Uniq.end());
+      A.File = File;
+      A.Line = SM.getExpansionLineNumber(Loc);
+      A.Loc = Loc;
+      Check.Acquisitions.push_back(std::move(A));
+    }
+
+    void walk(const Stmt *S, std::vector<Held> &HeldNow) {
+      if (S == nullptr)
+        return;
+
+      if (const auto *Lambda = dyn_cast<LambdaExpr>(S)) {
+        std::vector<Held> Fresh;
+        walk(Lambda->getBody(), Fresh);
+        return;
+      }
+
+      if (const auto *Compound = dyn_cast<CompoundStmt>(S)) {
+        const std::size_t Mark = HeldNow.size();
+        for (const Stmt *Child : Compound->body())
+          walk(Child, HeldNow);
+        if (HeldNow.size() > Mark)
+          HeldNow.resize(Mark);
+        return;
+      }
+
+      if (const auto *DS = dyn_cast<DeclStmt>(S)) {
+        for (const Decl *D : DS->decls()) {
+          const auto *VD = dyn_cast<VarDecl>(D);
+          if (VD == nullptr)
+            continue;
+          const CXXRecordDecl *Record =
+              VD->getType().getCanonicalType()->getAsCXXRecordDecl();
+          if (!isGuardRecord(Record)) {
+            if (const Expr *Init = VD->getInit())
+              walk(Init, HeldNow);
+            continue;
+          }
+          const auto *Construct =
+              dyn_cast_or_null<CXXConstructExpr>(VD->getInit());
+          if (Construct == nullptr || Construct->getNumArgs() == 0)
+            continue;
+          if (const FieldDecl *Field = mutexField(Construct->getArg(0))) {
+            const std::string Mutex = canonicalMemberName(Field);
+            record(Mutex, HeldNow, VD->getBeginLoc());
+            HeldNow.push_back({Mutex, VD, Field});
+          }
+        }
+        return;
+      }
+
+      if (const auto *Call = dyn_cast<CXXMemberCallExpr>(S)) {
+        const auto *Method = Call->getMethodDecl();
+        const std::string Name =
+            Method != nullptr ? Method->getNameAsString() : "";
+        const Expr *Object =
+            Call->getImplicitObjectArgument()->IgnoreParenImpCasts();
+        const auto *ObjRef = dyn_cast<DeclRefExpr>(Object);
+        const VarDecl *ObjVar =
+            ObjRef != nullptr ? dyn_cast<VarDecl>(ObjRef->getDecl()) : nullptr;
+        if (Name == "unlock" && ObjVar != nullptr) {
+          // Guard-var mid-scope unlock releases; Mutex::unlock() on a
+          // member (no guard var) releases the matching bare hold.
+          for (auto It = HeldNow.begin(); It != HeldNow.end(); ++It) {
+            if (It->Guard == ObjVar) {
+              HeldNow.erase(It);
+              break;
+            }
+          }
+        } else if (Name == "unlock") {
+          if (const FieldDecl *Field = mutexField(Object)) {
+            for (auto It = HeldNow.rbegin(); It != HeldNow.rend(); ++It) {
+              if (It->Field == Field && It->Guard == nullptr) {
+                HeldNow.erase(std::next(It).base());
+                break;
+              }
+            }
+          }
+        } else if (Name == "lock") {
+          bool Reacquired = false;
+          if (ObjVar != nullptr) {
+            const CXXRecordDecl *Record =
+                ObjVar->getType().getCanonicalType()->getAsCXXRecordDecl();
+            if (isGuardRecord(Record)) {
+              // MutexLock::lock() after an early unlock: re-resolve
+              // the mutex from the guard's construction.
+              if (const auto *Construct = dyn_cast_or_null<CXXConstructExpr>(
+                      ObjVar->getInit())) {
+                if (Construct->getNumArgs() > 0) {
+                  if (const FieldDecl *Field =
+                          mutexField(Construct->getArg(0))) {
+                    const std::string Mutex = canonicalMemberName(Field);
+                    record(Mutex, HeldNow, Call->getBeginLoc());
+                    HeldNow.push_back({Mutex, ObjVar, Field});
+                    Reacquired = true;
+                  }
+                }
+              }
+            }
+          }
+          if (!Reacquired) {
+            // Bare Mutex::lock() on a member: held until unlock() or
+            // end of function.
+            if (const FieldDecl *Field = mutexField(Object)) {
+              const std::string Mutex = canonicalMemberName(Field);
+              record(Mutex, HeldNow, Call->getBeginLoc());
+              HeldNow.push_back({Mutex, nullptr, Field});
+            }
+          }
+        } else if (Method != nullptr && !HeldNow.empty()) {
+          std::string Callee = Method->getQualifiedNameAsString();
+          const StringRef Ref(Callee);
+          if (!Ref.startswith("std::") && !Ref.startswith("__")) {
+            if (Ref.startswith("kc::"))
+              Callee = Callee.substr(4);
+            CallFact C;
+            C.Function = Function;
+            C.Callee = Callee;
+            std::set<std::string> Uniq;
+            for (const Held &H : HeldNow)
+              Uniq.insert(H.Mutex);
+            C.Held.assign(Uniq.begin(), Uniq.end());
+            C.File = File;
+            C.Line = SM.getExpansionLineNumber(Call->getBeginLoc());
+            Check.Calls.push_back(std::move(C));
+          }
+        }
+        for (const Stmt *Child : Call->children())
+          walk(Child, HeldNow);
+        return;
+      }
+
+      if (const auto *Call = dyn_cast<CallExpr>(S)) {
+        if (const FunctionDecl *Callee = Call->getDirectCallee();
+            Callee != nullptr && !HeldNow.empty()) {
+          std::string Name = Callee->getQualifiedNameAsString();
+          StringRef Ref(Name);
+          if (!Ref.startswith("std::") && !Ref.startswith("__") &&
+              !Ref.startswith("operator")) {
+            if (Ref.startswith("kc::"))
+              Name = Ref.drop_front(4).str();
+            CallFact C;
+            C.Function = Function;
+            C.Callee = Name;
+            std::set<std::string> Uniq;
+            for (const Held &H : HeldNow)
+              Uniq.insert(H.Mutex);
+            C.Held.assign(Uniq.begin(), Uniq.end());
+            C.File = File;
+            C.Line = SM.getExpansionLineNumber(Call->getBeginLoc());
+            Check.Calls.push_back(std::move(C));
+          }
+        }
+        for (const Stmt *Child : Call->children())
+          walk(Child, HeldNow);
+        return;
+      }
+
+      for (const Stmt *Child : S->children())
+        walk(Child, HeldNow);
+    }
+  };
+
+  Walker W{*this, SM, Function, MainFile};
+  std::vector<Held> HeldNow = Entry;
+  W.walk(FD->getBody(), HeldNow);
+}
+
+void LockOrderCheck::onEndOfTranslationUnit() {
+  // Intra-TU inversion diagnostics: edge (A, B) and edge (B, A) both
+  // witnessed in this TU is already a deadlock candidate no merge step
+  // is needed to see.
+  std::map<std::pair<std::string, std::string>, const Acquisition *> Edges;
+  for (const Acquisition &A : Acquisitions)
+    for (const std::string &H : A.Held)
+      if (H != A.Mutex)
+        Edges.try_emplace({H, A.Mutex}, &A);
+  for (const auto &[Edge, Witness] : Edges) {
+    const auto Reverse = Edges.find({Edge.second, Edge.first});
+    if (Reverse == Edges.end() || Edge.first >= Edge.second)
+      continue;  // report each inverted pair once, from one side
+    diag(Witness->Loc,
+         "lock-order inversion within this TU: '%0' acquired while "
+         "holding '%1' here, but '%2' also acquires them in the "
+         "opposite order; a global cycle means deadlock")
+        << Edge.second << Edge.first << Reverse->second->Function;
+    diag(Reverse->second->Loc, "the opposite-order acquisition is here",
+         DiagnosticIDs::Note);
+  }
+
+  if (FactsDir.empty() || MainFile.empty())
+    return;
+  if (Acquisitions.empty() && Calls.empty())
+    return;
+  if (llvm::sys::fs::create_directories(FactsDir))
+    return;
+
+  std::string Stem = MainFile;
+  for (char &C : Stem)
+    if (C == '/' || C == '\\' || C == '.')
+      C = '_';
+  llvm::SmallString<256> Path(FactsDir);
+  llvm::sys::path::append(Path, Stem + ".yaml");
+
+  std::ofstream Out(Path.str().str());
+  if (!Out)
+    return;
+  auto Join = [](const std::vector<std::string> &Items) {
+    std::string Result;
+    for (const std::string &Item : Items) {
+      if (!Result.empty())
+        Result += "|";
+      Result += Item;
+    }
+    return Result;
+  };
+  Out << "tu: " << MainFile << "\n";
+  Out << "acquisitions:\n";
+  for (const Acquisition &A : Acquisitions)
+    Out << "  - {function: \"" << A.Function << "\", mutex: \"" << A.Mutex
+        << "\", held: \"" << Join(A.Held) << "\", line: " << A.Line << "}\n";
+  Out << "calls:\n";
+  for (const CallFact &C : Calls)
+    Out << "  - {function: \"" << C.Function << "\", callee: \"" << C.Callee
+        << "\", held: \"" << Join(C.Held) << "\", line: " << C.Line << "}\n";
+
+  Acquisitions.clear();
+  Calls.clear();
+}
+
+}  // namespace clang::tidy::kc

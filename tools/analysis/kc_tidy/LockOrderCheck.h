@@ -1,0 +1,67 @@
+// kc-lock-order: phase one of the cross-TU lock-order analysis.
+//
+// Walks every function definition tracking the set of kc::compat
+// mutexes held (LockGuard/MutexLock scopes, std::lock_guard/
+// unique_lock/scoped_lock over annotated members, KC_REQUIRES entry
+// capabilities) and records, for each acquisition, which mutexes were
+// already held — plus which functions are called under a lock. The
+// facts are written as one YAML file per translation unit (option
+// `FactsDir`); tools/analysis/lock_graph.py merges them into the
+// global lock-order graph and fails CI on a cycle.
+//
+// Inversions visible within a single TU (f takes A then B, g takes B
+// then A) are diagnosed directly so the fixture corpus and local runs
+// get immediate findings without the merge step.
+#ifndef KC_TIDY_LOCK_ORDER_CHECK_H
+#define KC_TIDY_LOCK_ORDER_CHECK_H
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::kc {
+
+class LockOrderCheck : public ClangTidyCheck {
+ public:
+  LockOrderCheck(StringRef Name, ClangTidyContext *Context);
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void onEndOfTranslationUnit() override;
+
+ private:
+  struct Acquisition {
+    std::string Function;
+    std::string Mutex;
+    std::vector<std::string> Held;
+    std::string File;
+    unsigned Line = 0;
+    SourceLocation Loc;
+  };
+  struct CallFact {
+    std::string Function;
+    std::string Callee;
+    std::vector<std::string> Held;
+    std::string File;
+    unsigned Line = 0;
+  };
+
+  void walkFunction(const FunctionDecl *FD, ASTContext &Ctx,
+                    const SourceManager &SM);
+
+  const std::string FactsDir;
+  const std::string RepoRoot;
+  std::string MainFile;
+  std::vector<Acquisition> Acquisitions;
+  std::vector<CallFact> Calls;
+};
+
+}  // namespace clang::tidy::kc
+
+#endif  // KC_TIDY_LOCK_ORDER_CHECK_H

@@ -1,0 +1,84 @@
+// kc-raw-kernel: the distance-kernel engine is reachable only through
+// DistanceOracle.
+//
+// Every scan that goes through the oracle is gated: budget odometer,
+// chunk-granular cancellation, counter attribution, spatial pruning
+// with the bit-identical fallback. A call straight into the
+// geom::KernelTable function pointers (or the table accessors
+// active_kernels()/kernels_for()) bypasses all of it, so new code
+// outside src/geom/ must not make one. The kernel equivalence tests
+// and the microbenchmarks measure the tables themselves and are
+// allowed (tests/, bench/), as is the engine's own home (src/geom/).
+//
+// AST-grounded where the old filename lint could not be: a call
+// through a typedef'd table reference, a `using kc::simd::...`
+// alias, or a macro still resolves to the same FieldDecl / function.
+#include "RawKernelCheck.h"
+
+#include "KCTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::kc {
+
+RawKernelCheck::RawKernelCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedDirs(Options.get("AllowedDirs", "src/geom/;tests/;bench/")) {}
+
+void RawKernelCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedDirs", AllowedDirs);
+}
+
+void RawKernelCheck::registerMatchers(MatchFinder *Finder) {
+  // The two table accessors.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::kc::simd::active_kernels",
+                                              "::kc::simd::kernels_for"))))
+          .bind("accessor"),
+      this);
+  // A call through any KernelTable function-pointer member: the callee
+  // expression contains a member access of a KernelTable field
+  // (directly for `table.argmax(...)`, through an array subscript for
+  // `table.pair[metric](...)`).
+  const auto TableMember = memberExpr(member(fieldDecl(hasParent(
+      recordDecl(hasName("::kc::simd::KernelTable"))))));
+  Finder->addMatcher(
+      callExpr(callee(expr(anyOf(TableMember, hasDescendant(TableMember)))))
+          .bind("table-call"),
+      this);
+}
+
+void RawKernelCheck::check(const MatchFinder::MatchResult &Result) {
+  const Expr *Call = Result.Nodes.getNodeAs<Expr>("accessor");
+  const bool Accessor = Call != nullptr;
+  if (Call == nullptr)
+    Call = Result.Nodes.getNodeAs<Expr>("table-call");
+  if (Call == nullptr)
+    return;
+
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = SM.getExpansionLoc(Call->getBeginLoc());
+  if (Loc.isInvalid() || SM.isInSystemHeader(Loc))
+    return;
+  const StringRef File = SM.getFilename(Loc);
+  StringRef Dirs(AllowedDirs);
+  while (!Dirs.empty()) {
+    auto [Head, Tail] = Dirs.split(';');
+    if (!Head.empty() && pathContainsDir(File, Head))
+      return;
+    Dirs = Tail;
+  }
+
+  if (Accessor)
+    diag(Loc, "raw kernel-table access outside the engine: "
+              "active_kernels()/kernels_for() bypasses the DistanceOracle "
+              "budget/cancel gates; route the scan through the oracle");
+  else
+    diag(Loc, "direct KernelTable kernel call outside the engine: this "
+              "bypasses the DistanceOracle budget/cancel gates; route the "
+              "scan through the oracle");
+}
+
+}  // namespace clang::tidy::kc

@@ -1,0 +1,30 @@
+#ifndef KC_TIDY_RAW_KERNEL_CHECK_H
+#define KC_TIDY_RAW_KERNEL_CHECK_H
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::kc {
+
+/// Bans calls into geom::KernelTable (entry points and table-member
+/// function pointers) outside the allowed directories, so no new code
+/// can bypass the DistanceOracle budget/cancel gates. See the .cpp for
+/// the rationale.
+class RawKernelCheck : public ClangTidyCheck {
+ public:
+  RawKernelCheck(StringRef Name, ClangTidyContext *Context);
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+ private:
+  const std::string AllowedDirs;  ///< ';'-separated dir fragments
+};
+
+}  // namespace clang::tidy::kc
+
+#endif  // KC_TIDY_RAW_KERNEL_CHECK_H

@@ -1,0 +1,164 @@
+#include "UnorderedEmitCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::kc {
+
+namespace {
+
+constexpr char kDefaultSinkRegex[] =
+    "^(std::basic_ostream|std::operator<<|printf|fprintf|fputs|fwrite|"
+    "kc::harness::|kc::mr::JobTrace|kc::svc::json)";
+
+/// Spelled name of the unordered container `T` resolves to, or empty.
+std::string unorderedContainerName(QualType T) {
+  if (T.isNull())
+    return {};
+  const std::string Canon = T.getCanonicalType().getAsString();
+  for (const char *Name :
+       {"unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"}) {
+    if (Canon.find(std::string("std::") + Name) != std::string::npos)
+      return std::string("std::") + Name;
+  }
+  return {};
+}
+
+/// Qualified name of the function a match landed in, or empty.
+std::string functionName(const FunctionDecl *FD) {
+  if (FD == nullptr)
+    return {};
+  std::string Name = FD->getQualifiedNameAsString();
+  // Strip inline-namespace noise so the regex and the call-graph keys
+  // agree between declaration contexts.
+  const std::string Anon = "(anonymous namespace)::";
+  for (size_t Pos = Name.find(Anon); Pos != std::string::npos;
+       Pos = Name.find(Anon))
+    Name.erase(Pos, Anon.size());
+  return Name;
+}
+
+}  // namespace
+
+UnorderedEmitCheck::UnorderedEmitCheck(StringRef Name,
+                                       ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      SinkRegex(Options.get("SinkRegex", kDefaultSinkRegex)),
+      MaxDepth(Options.get("MaxDepth", 6U)) {}
+
+void UnorderedEmitCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "SinkRegex", SinkRegex);
+  Options.store(Opts, "MaxDepth", MaxDepth);
+}
+
+void UnorderedEmitCheck::registerMatchers(MatchFinder *Finder) {
+  // Iteration sites: range-for over a hashed container, or explicit
+  // begin()/cbegin() on one (iterator-loop and <algorithm> forms).
+  Finder->addMatcher(
+      cxxForRangeStmt(forFunction(functionDecl().bind("iter-fn")),
+                      unless(isExpansionInSystemHeader()))
+          .bind("range"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName("begin", "cbegin"))),
+                        forFunction(functionDecl().bind("iter-fn")),
+                        // range-for desugars into hidden begin()/end()
+                        // calls; the cxxForRangeStmt matcher already
+                        // owns those sites.
+                        unless(hasAncestor(cxxForRangeStmt())),
+                        unless(isExpansionInSystemHeader()))
+          .bind("begin-call"),
+      this);
+  // Call-graph edges for the reachability pass.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl().bind("callee")),
+               forFunction(functionDecl().bind("caller")),
+               unless(isExpansionInSystemHeader())),
+      this);
+}
+
+void UnorderedEmitCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *Caller = Result.Nodes.getNodeAs<FunctionDecl>("caller")) {
+    if (const auto *Callee = Result.Nodes.getNodeAs<FunctionDecl>("callee")) {
+      const std::string From = functionName(Caller);
+      const std::string To = functionName(Callee);
+      if (!From.empty() && !To.empty()) {
+        Calls[From].insert(To);
+        if (llvm::Regex(SinkRegex).match(To))
+          DirectSinks.insert(From);
+      }
+    }
+    return;
+  }
+
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("iter-fn");
+  std::string Container;
+  SourceLocation Loc;
+  if (const auto *Range = Result.Nodes.getNodeAs<CXXForRangeStmt>("range")) {
+    if (const Expr *Init = Range->getRangeInit())
+      Container = unorderedContainerName(Init->getType());
+    Loc = Range->getBeginLoc();
+  } else if (const auto *Begin =
+                 Result.Nodes.getNodeAs<CXXMemberCallExpr>("begin-call")) {
+    if (const Expr *Obj = Begin->getImplicitObjectArgument())
+      Container = unorderedContainerName(Obj->getType());
+    Loc = Begin->getBeginLoc();
+  }
+  if (Container.empty() || Fn == nullptr)
+    return;
+  Loc = SM.getExpansionLoc(Loc);
+  if (Loc.isInvalid() || SM.isInSystemHeader(Loc))
+    return;
+  Sites.push_back({functionName(Fn), Container, Loc});
+}
+
+void UnorderedEmitCheck::onEndOfTranslationUnit() {
+  if (Sites.empty()) {
+    Calls.clear();
+    DirectSinks.clear();
+    return;
+  }
+  // Forward reachability with bounded depth: a function emits if its
+  // body calls a sink, or any callee (transitively) does. Bounding the
+  // depth keeps huge TUs cheap and matches how shallow the repo's real
+  // reporting helpers are.
+  std::set<std::string> Emits = DirectSinks;
+  for (unsigned Round = 0; Round < MaxDepth; ++Round) {
+    bool Changed = false;
+    for (const auto &[From, Tos] : Calls) {
+      if (Emits.count(From) != 0U)
+        continue;
+      for (const std::string &To : Tos) {
+        if (Emits.count(To) != 0U) {
+          Emits.insert(From);
+          Changed = true;
+          break;
+        }
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  for (const IterationSite &Site : Sites) {
+    if (Emits.count(Site.Function) == 0U)
+      continue;
+    diag(Site.Loc,
+         "iteration over %0 in '%1', which reaches a report/trace sink: "
+         "hash order is seed- and libstdc++-version-dependent, so the "
+         "emitted artifact is nondeterministic; sort keys first or use an "
+         "ordered container")
+        << Site.Container << Site.Function;
+  }
+  Sites.clear();
+  Calls.clear();
+  DirectSinks.clear();
+}
+
+}  // namespace clang::tidy::kc

@@ -1,0 +1,54 @@
+#ifndef KC_TIDY_UNORDERED_EMIT_CHECK_H
+#define KC_TIDY_UNORDERED_EMIT_CHECK_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang/Basic/SourceLocation.h"
+
+namespace clang::tidy::kc {
+
+/// Flags iteration over std::unordered_* containers in functions that
+/// can reach a report/trace sink (stream output, harness reporting,
+/// machine-readable emitters) through the per-TU call graph. Hash
+/// iteration order is libstdc++-version- and seed-dependent; anything
+/// it feeds into an artifact breaks the repo's determinism contract.
+/// This replaces the retired kc_lint `unordered-iter` regex rule,
+/// which could only flag iteration textually inside reporting files —
+/// a helper one call away was invisible to it.
+class UnorderedEmitCheck : public ClangTidyCheck {
+ public:
+  UnorderedEmitCheck(StringRef Name, ClangTidyContext *Context);
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void onEndOfTranslationUnit() override;
+
+ private:
+  /// Regex naming sink callees (qualified names). Matched functions
+  /// count as emission points; reachability is computed from callers.
+  const std::string SinkRegex;
+  /// Extra hops allowed between an iterating function and a sink.
+  const unsigned MaxDepth;
+
+  struct IterationSite {
+    std::string Function;  ///< qualified name of the iterating function
+    std::string Container;  ///< spelled container type
+    SourceLocation Loc;
+  };
+  std::vector<IterationSite> Sites;
+  /// caller qualified-name -> callee qualified-names (per TU).
+  std::map<std::string, std::set<std::string>> Calls;
+  /// Functions whose body directly calls a sink-matching callee.
+  std::set<std::string> DirectSinks;
+};
+
+}  // namespace clang::tidy::kc
+
+#endif  // KC_TIDY_UNORDERED_EMIT_CHECK_H

@@ -1,0 +1,167 @@
+#include "WaitLoopCheck.h"
+
+#include "KCTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::kc {
+
+namespace {
+
+/// Collects whether `S` (an expression tree) reads any member that
+/// carries a GuardedByAttr. When `Mutex` is non-null, only members
+/// guarded by that specific mutex field count; when the guarded-by
+/// argument cannot be resolved to a field, any guarded member counts
+/// (permissive on exotic attribute expressions, strict on the repo
+/// idiom).
+bool readsGuardedMember(const Stmt *S, const FieldDecl *Mutex) {
+  if (S == nullptr)
+    return false;
+  if (const auto *Member = dyn_cast<MemberExpr>(S)) {
+    if (const auto *Field = dyn_cast<FieldDecl>(Member->getMemberDecl())) {
+      if (const auto *Attr = Field->getAttr<GuardedByAttr>()) {
+        if (Mutex == nullptr)
+          return true;
+        const Expr *Arg = Attr->getArg()->IgnoreParenImpCasts();
+        const auto *GuardMember = dyn_cast<MemberExpr>(Arg);
+        const FieldDecl *GuardField =
+            GuardMember != nullptr
+                ? dyn_cast<FieldDecl>(GuardMember->getMemberDecl())
+                : nullptr;
+        if (GuardField == nullptr || GuardField == Mutex)
+          return true;
+      }
+    }
+  }
+  for (const Stmt *Child : S->children())
+    if (readsGuardedMember(Child, Mutex))
+      return true;
+  return false;
+}
+
+/// The mutex field a guard variable (MutexLock/unique_lock) was
+/// constructed over, or null.
+const FieldDecl *guardMutexField(const Expr *LockArg) {
+  if (LockArg == nullptr)
+    return nullptr;
+  LockArg = LockArg->IgnoreParenImpCasts();
+  const auto *Ref = dyn_cast<DeclRefExpr>(LockArg);
+  if (Ref == nullptr)
+    return nullptr;
+  const auto *Var = dyn_cast<VarDecl>(Ref->getDecl());
+  if (Var == nullptr)
+    return nullptr;
+  const auto *Construct = dyn_cast_or_null<CXXConstructExpr>(Var->getInit());
+  if (Construct == nullptr || Construct->getNumArgs() == 0)
+    return nullptr;
+  const Expr *Arg = Construct->getArg(0)->IgnoreParenImpCasts();
+  if (const auto *Member = dyn_cast<MemberExpr>(Arg))
+    return dyn_cast<FieldDecl>(Member->getMemberDecl());
+  return nullptr;
+}
+
+}  // namespace
+
+void WaitLoopCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("wait", "wait_for", "wait_until"),
+                               ofClass(hasName("::kc::compat::CondVar")))),
+          unless(isExpansionInSystemHeader()))
+          .bind("wait"),
+      this);
+}
+
+void WaitLoopCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Wait = Result.Nodes.getNodeAs<CXXMemberCallExpr>("wait");
+  if (Wait == nullptr)
+    return;
+  ASTContext &Ctx = *Result.Context;
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = SM.getExpansionLoc(Wait->getBeginLoc());
+
+  // The mutex held across the wait: resolved from the MutexLock
+  // argument's construction.
+  const FieldDecl *Mutex =
+      Wait->getNumArgs() > 0 ? guardMutexField(Wait->getArg(0)) : nullptr;
+
+  // Walk up to the nearest enclosing loop, stopping at the function
+  // (or lambda) boundary.
+  DynTypedNode Node = DynTypedNode::create(*static_cast<const Stmt *>(Wait));
+  const Stmt *Loop = nullptr;
+  for (int Depth = 0; Depth < 64; ++Depth) {
+    const auto Parents = Ctx.getParents(Node);
+    if (Parents.empty())
+      break;
+    Node = Parents[0];
+    if (const Stmt *S = Node.get<Stmt>()) {
+      if (isa<WhileStmt>(S) || isa<DoStmt>(S) || isa<ForStmt>(S) ||
+          isa<CXXForRangeStmt>(S)) {
+        Loop = S;
+        break;
+      }
+      if (isa<LambdaExpr>(S))
+        break;
+    } else if (Node.get<FunctionDecl>() != nullptr) {
+      break;
+    }
+  }
+
+  if (Loop == nullptr) {
+    diag(Loc,
+         "CondVar wait outside a loop: spurious wakeups and lost "
+         "notifications make a single wait incorrect; re-check the "
+         "guarded predicate in a while loop");
+    return;
+  }
+
+  // The loop condition must re-read guarded state. A condition-less
+  // `for (;;)` is accepted when some `if` inside the loop body reads a
+  // guarded member (the break-based idiom); anything else races the
+  // notifier or spins on unguarded state.
+  const Expr *Cond = nullptr;
+  if (const auto *While = dyn_cast<WhileStmt>(Loop))
+    Cond = While->getCond();
+  else if (const auto *Do = dyn_cast<DoStmt>(Loop))
+    Cond = Do->getCond();
+  else if (const auto *For = dyn_cast<ForStmt>(Loop))
+    Cond = For->getCond();
+
+  if (Cond != nullptr && readsGuardedMember(Cond, Mutex))
+    return;
+
+  if (Cond == nullptr) {
+    // for(;;) { ... if (guarded) break/continue ...; cv.wait(lock); }
+    struct IfScan {
+      const FieldDecl *Mutex;
+      bool Found = false;
+      void walk(const Stmt *S) {
+        if (S == nullptr || Found)
+          return;
+        if (const auto *If = dyn_cast<IfStmt>(S))
+          if (readsGuardedMember(If->getCond(), Mutex)) {
+            Found = true;
+            return;
+          }
+        for (const Stmt *Child : S->children())
+          walk(Child);
+      }
+    };
+    IfScan Scan{Mutex};
+    Scan.walk(Loop);
+    if (Scan.Found)
+      return;
+  }
+
+  diag(Loc,
+       "CondVar wait in a loop whose condition does not read a "
+       "KC_GUARDED_BY member of the held mutex; the predicate this wait "
+       "depends on is either unguarded (races the notifier) or not "
+       "re-checked (spurious wakeup bug)");
+}
+
+}  // namespace clang::tidy::kc

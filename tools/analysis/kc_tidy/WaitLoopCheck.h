@@ -1,0 +1,27 @@
+#ifndef KC_TIDY_WAIT_LOOP_CHECK_H
+#define KC_TIDY_WAIT_LOOP_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::kc {
+
+/// Every kc::compat::CondVar wait must sit inside a loop whose exit
+/// condition reads a KC_GUARDED_BY member of the mutex held across the
+/// wait. A wait outside a loop is a lost-wakeup/spurious-wakeup bug;
+/// a loop whose condition reads unguarded state races the notifier.
+/// The repo writes predicate waits as explicit while loops by design
+/// (see compat/thread_safety.hpp), so this check closes the loop: the
+/// explicit form is now enforced, not just enabled.
+class WaitLoopCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::kc
+
+#endif  // KC_TIDY_WAIT_LOOP_CHECK_H

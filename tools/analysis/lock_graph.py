@@ -1,0 +1,646 @@
+#!/usr/bin/env python3
+"""lock_graph: the cross-TU half of the kc-lock-order analysis.
+
+Deadlock by lock-order inversion is a *global* property: TU A may only
+ever take `state_mutex_` then `deadline_mutex_`, TU B only the reverse,
+and no per-TU analysis (Clang TSA included) can see the conflict. The
+kc-lock-order clang-tidy check (tools/analysis/checks/LockOrderCheck)
+therefore only *emits facts* — which mutexes are held when another is
+acquired, which functions acquire what, which calls happen under a
+lock — one YAML file per translation unit. This tool is phase two: it
+unions the facts into a global lock-order graph, closes the graph over
+the call facts (an edge A -> B also exists when a function is called
+with A held and that function, transitively, may acquire B), detects
+cycles, and renders the graph as DOT for the CI artifact.
+
+The same facts schema can be produced without a compiler: `extract`
+derives facts from the sources directly with a brace-scope heuristic
+over the repo's disciplined locking idiom (compat::LockGuard /
+compat::MutexLock guards, KC_REQUIRES annotations). That keeps the
+cycle gate running as a plain ctest entry on toolchains without clang
+dev headers; when the plugin is available its AST-grounded facts take
+precedence (macros, typedefs and out-of-line definitions resolved for
+real).
+
+Facts schema (a deliberately flat YAML subset; parsed here without
+PyYAML so the tool runs on a bare python3):
+
+    tu: src/svc/service.cpp
+    acquisitions:
+      - {function: "ServiceLoop::run", mutex: "ServiceLoop::state_mutex_", held: "A|B", line: 217}
+    calls:
+      - {function: "ServiceLoop::run", callee: "BoundedQueue::pop", held: "A", line: 230}
+
+Usage:
+    lock_graph.py extract --src src/svc src/exec src/fault --out build/lock_facts
+    lock_graph.py merge --facts build/lock_facts --dot lock_order.dot
+    lock_graph.py selftest --corpus tests/lint_fixtures/plugin
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# ------------------------------------------------------------------ facts
+
+ITEM_RE = re.compile(r"\{([^}]*)\}")
+FIELD_RE = re.compile(r"(\w+):\s*(?:\"([^\"]*)\"|(\d+))")
+
+
+class Acquisition:
+    def __init__(self, function: str, mutex: str, held: list[str],
+                 tu: str, line: int):
+        self.function = function
+        self.mutex = mutex
+        self.held = held
+        self.tu = tu
+        self.line = line
+
+
+class Call:
+    def __init__(self, function: str, callee: str, held: list[str],
+                 tu: str, line: int):
+        self.function = function
+        self.callee = callee
+        self.held = held
+        self.tu = tu
+        self.line = line
+
+
+class Facts:
+    def __init__(self):
+        self.acquisitions: list[Acquisition] = []
+        self.calls: list[Call] = []
+
+    def dump(self, tu: str) -> str:
+        out = [f"tu: {tu}", "acquisitions:"]
+        for a in self.acquisitions:
+            held = "|".join(a.held)
+            out.append(f'  - {{function: "{a.function}", mutex: "{a.mutex}",'
+                       f' held: "{held}", line: {a.line}}}')
+        out.append("calls:")
+        for c in self.calls:
+            held = "|".join(c.held)
+            out.append(f'  - {{function: "{c.function}", callee: "{c.callee}",'
+                       f' held: "{held}", line: {c.line}}}')
+        return "\n".join(out) + "\n"
+
+
+def parse_facts(text: str) -> Facts:
+    facts = Facts()
+    tu = "?"
+    section = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("tu:"):
+            tu = line[3:].strip()
+            continue
+        if line.startswith("acquisitions:"):
+            section = "acq"
+            continue
+        if line.startswith("calls:"):
+            section = "call"
+            continue
+        m = ITEM_RE.search(line)
+        if not m or section is None:
+            continue
+        fields = {k: s or n for k, s, n in FIELD_RE.findall(m.group(1))}
+        held = [h for h in fields.get("held", "").split("|") if h]
+        lineno = int(fields.get("line", "0"))
+        if section == "acq":
+            facts.acquisitions.append(Acquisition(
+                fields.get("function", "?"), fields.get("mutex", "?"),
+                held, tu, lineno))
+        else:
+            facts.calls.append(Call(
+                fields.get("function", "?"), fields.get("callee", "?"),
+                held, tu, lineno))
+    return facts
+
+
+# ------------------------------------------------- heuristic fact extract
+#
+# The fallback frontend. It understands exactly the locking idiom the
+# repo enforces elsewhere (one guard declaration per line, mutex
+# members named in the declaration, KC_REQUIRES on the definition) and
+# is deliberately dumb about everything else. The clang-tidy check is
+# the ground truth; this exists so the cycle gate never goes dark on
+# gcc-only hosts.
+
+GUARD_RE = re.compile(
+    r"\bcompat::(?:LockGuard|MutexLock)\s+(\w+)\s*[({]\s*([\w.&>\[\]\-]+(?:\(\))?)\s*[)}]")
+REQUIRES_RE = re.compile(r"KC_REQUIRES\(([^)]*)\)")
+CLASS_RE = re.compile(r"^\s*(?:class|struct)\s+(?:KC_\w+\(\"?\w*\"?\)\s+)?(\w+)[^;]*$")
+MUTEX_DECL_RE = re.compile(r"(?:kc::)?compat::Mutex\s+(\w+)\s*;")
+# A function definition header: optional template/qualifiers, a name
+# (possibly Class::name) directly before the parameter list. Matched on
+# the joined declaration line once its opening brace arrives.
+FUNC_NAME_RE = re.compile(r"([\w~]+(?:::[\w~]+)*)\s*\($")
+UNLOCK_RE = re.compile(r"\b(\w+)\.unlock\(\)")
+RELOCK_RE = re.compile(r"\b(\w+)\.lock\(\)")
+
+
+def strip_comments(text: str) -> str:
+    """Removes // and /* */ comments and string literal contents while
+    preserving line structure (so reported line numbers stay real)."""
+    out = []
+    i = 0
+    n = len(text)
+    mode = None  # None | "line" | "block" | "str" | "chr"
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if ch == "/" and nxt == "/":
+                mode = "line"
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                mode = "block"
+                i += 2
+                continue
+            if ch == '"':
+                mode = "str"
+                out.append(ch)
+                i += 1
+                continue
+            if ch == "'":
+                mode = "chr"
+                out.append(ch)
+                i += 1
+                continue
+            out.append(ch)
+        elif mode == "line":
+            if ch == "\n":
+                mode = None
+                out.append(ch)
+        elif mode == "block":
+            if ch == "*" and nxt == "/":
+                mode = None
+                i += 2
+                continue
+            if ch == "\n":
+                out.append(ch)
+        elif mode == "str":
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == '"':
+                mode = None
+                out.append(ch)
+            elif ch == "\n":  # unterminated; bail to code mode
+                mode = None
+                out.append(ch)
+        elif mode == "chr":
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == "'":
+                mode = None
+                out.append(ch)
+            elif ch == "\n":
+                mode = None
+                out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+class MutexIndex:
+    """Maps mutex member names to their canonical Owner::name form.
+
+    Built by a whole-tree pre-pass over class/struct scopes. Ambiguous
+    bare names (two classes both own a member `mutex`) are resolved by
+    preferring an owner declared in the same file stem as the use.
+    """
+
+    def __init__(self):
+        self.by_name: dict[str, list[tuple[str, str]]] = {}  # name -> [(owner, file)]
+
+    def scan(self, path: Path, text: str):
+        class_stack: list[tuple[str, int]] = []  # (name, depth at open)
+        depth = 0
+        pending_class: str | None = None
+        for line in text.splitlines():
+            m = CLASS_RE.match(line)
+            if m and "{" not in line and ";" not in line:
+                pending_class = m.group(1)
+            opens = line.count("{")
+            closes = line.count("}")
+            if opens:
+                name = None
+                if m and "{" in line:
+                    name = m.group(1)
+                elif pending_class is not None:
+                    name = pending_class
+                if name is not None:
+                    class_stack.append((name, depth))
+                    pending_class = None
+            dm = MUTEX_DECL_RE.search(line)
+            if dm and class_stack:
+                owner = class_stack[-1][0]
+                self.by_name.setdefault(dm.group(1), []).append(
+                    (owner, path.stem))
+            depth += opens - closes
+            while class_stack and depth <= class_stack[-1][1]:
+                class_stack.pop()
+
+    def canonical(self, expr: str, file_stem: str) -> str:
+        """`scheduler_->drain_mutex_` -> `Scheduler::drain_mutex_`."""
+        name = re.split(r"[.>]", expr.replace("->", ">"))[-1].strip("&() ")
+        owners = self.by_name.get(name)
+        if not owners:
+            return name
+        if len(owners) == 1:
+            return f"{owners[0][0]}::{name}"
+        for owner, stem in owners:
+            if stem == file_stem:
+                return f"{owner}::{name}"
+        return f"{owners[0][0]}::{name}"
+
+
+def extract_file(path: Path, rel: str, index: MutexIndex,
+                 acquirer_names: set[str] | None) -> Facts:
+    """One file's facts, via brace-scope tracking of guard lifetimes."""
+    facts = Facts()
+    text = strip_comments(path.read_text(encoding="utf-8", errors="replace"))
+    lines = text.splitlines()
+
+    depth = 0
+    func: str | None = None
+    func_depth = 0
+    # Guards held right now: (canonical mutex, guard var, depth declared).
+    held: list[tuple[str, str, int]] = []
+    pending_sig = ""  # joined decl text while looking for a '{'
+
+    for lineno, line in enumerate(lines, start=1):
+        code = line
+        if func is None:
+            # Accumulate a potential function signature until its body
+            # opens. A ';' ends a declaration without a body.
+            pending_sig = (pending_sig + " " + code).strip()
+            if ";" in code and "{" not in code:
+                pending_sig = ""
+            if "{" in code:
+                sig = pending_sig.split("{")[0]
+                # KC_REQUIRES on the definition: held on entry.
+                entry_held = []
+                for req in REQUIRES_RE.findall(sig):
+                    for tok in req.split(","):
+                        tok = tok.strip().lstrip("!")
+                        if tok:
+                            entry_held.append(index.canonical(tok, path.stem))
+                paren = sig.find("(")
+                name = None
+                if paren > 0:
+                    m = FUNC_NAME_RE.search(sig[:paren + 1])
+                    if m:
+                        name = m.group(1)
+                kw_blocklist = {"if", "for", "while", "switch", "catch",
+                                "return", "sizeof", "alignof", "decltype"}
+                if name and name.split("::")[-1] not in kw_blocklist:
+                    func = name
+                    func_depth = depth
+                    held = [(mx, "<entry>", depth) for mx in entry_held]
+                pending_sig = ""
+        else:
+            gm = GUARD_RE.search(code)
+            if gm:
+                mutex = index.canonical(gm.group(2), path.stem)
+                facts.acquisitions.append(Acquisition(
+                    func, mutex, sorted({h for h, _, _ in held}), rel, lineno))
+                held.append((mutex, gm.group(1), depth + code.count("{")))
+            else:
+                # MutexLock mid-scope unlock ends the hold early; the
+                # matching relock() re-enters the same mutex, which the
+                # graph ignores (self-edges are TSA's province).
+                um = UNLOCK_RE.search(code)
+                if um:
+                    held = [h for h in held if h[1] != um.group(1)]
+                # Call facts: a call to a known acquiring function while
+                # holding something. Restricted to unqualified and
+                # this-> calls — a call through some other object
+                # (x.wait(), items_.size()) shares only a method *name*
+                # with an acquirer, and resolving the receiver's type
+                # is exactly what the AST check exists for.
+                if held and acquirer_names:
+                    for cm in re.finditer(r"([A-Za-z_]\w*)\s*\(", code):
+                        callee = cm.group(1)
+                        before = code[:cm.start()].rstrip()
+                        if before.endswith(".") or before.endswith("->"):
+                            if not re.search(r"\bthis\s*->$", before):
+                                continue
+                        if callee in acquirer_names and \
+                                callee != func.split("::")[-1]:
+                            facts.calls.append(Call(
+                                func, callee, sorted({h for h, _, _ in held}),
+                                rel, lineno))
+
+        opens = line.count("{")
+        closes = line.count("}")
+        depth += opens - closes
+        if func is not None:
+            held = [h for h in held if h[2] <= depth]
+            if depth <= func_depth:
+                func = None
+                held = []
+                pending_sig = ""
+    return facts
+
+
+def cxx_files(roots: list[Path]) -> list[Path]:
+    out = []
+    for root in roots:
+        if root.is_file():
+            out.append(root)
+            continue
+        out.extend(p for p in sorted(root.rglob("*"))
+                   if p.suffix in (".cpp", ".hpp", ".h", ".cc"))
+    return out
+
+
+def extract_tree(roots: list[Path], repo_root: Path) -> dict[str, Facts]:
+    files = cxx_files(roots)
+    index = MutexIndex()
+    texts: dict[Path, str] = {}
+    for path in files:
+        text = strip_comments(
+            path.read_text(encoding="utf-8", errors="replace"))
+        texts[path] = text
+        index.scan(path, text)
+
+    # Pass 1.5: which unqualified function names acquire a guard in
+    # their body? Used to emit call facts only where they can matter.
+    # Names defined more than once stay indexed (the merge unions the
+    # may-acquire sets, over-approximating — safe for a cycle gate on a
+    # tree whose method names are distinct per class).
+    acquirer_names: set[str] = set()
+    prelim: dict[Path, Facts] = {}
+    for path in files:
+        rel = path.relative_to(repo_root).as_posix() if path.is_relative_to(
+            repo_root) else path.as_posix()
+        prelim[path] = extract_file(path, rel, index, None)
+        for a in prelim[path].acquisitions:
+            acquirer_names.add(a.function.split("::")[-1])
+
+    out: dict[str, Facts] = {}
+    for path in files:
+        rel = path.relative_to(repo_root).as_posix() if path.is_relative_to(
+            repo_root) else path.as_posix()
+        out[rel] = extract_file(path, rel, index, acquirer_names)
+    return out
+
+
+# ------------------------------------------------------------------ graph
+
+
+class Graph:
+    def __init__(self):
+        # edge (a, b) -> witness "tu:line via function"
+        self.edges: dict[tuple[str, str], str] = {}
+        self.nodes: set[str] = set()
+
+    def add(self, a: str, b: str, witness: str):
+        self.nodes.add(a)
+        self.nodes.add(b)
+        self.edges.setdefault((a, b), witness)
+
+    def cycles(self) -> list[list[str]]:
+        """All elementary cycles reachable by DFS (first witness per
+        back edge; enough to fail the gate and name the loop)."""
+        adj: dict[str, list[str]] = {}
+        for (a, b) in self.edges:
+            adj.setdefault(a, []).append(b)
+        for outs in adj.values():
+            outs.sort()
+
+        found: list[list[str]] = []
+        seen_cycles: set[tuple[str, ...]] = set()
+        color: dict[str, int] = {}
+        stack: list[str] = []
+
+        def dfs(u: str):
+            color[u] = 1
+            stack.append(u)
+            for v in adj.get(u, []):
+                if color.get(v, 0) == 0:
+                    dfs(v)
+                elif color.get(v) == 1:
+                    i = stack.index(v)
+                    cyc = stack[i:] + [v]
+                    key = tuple(sorted(cyc[:-1]))
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        found.append(cyc)
+            stack.pop()
+            color[u] = 2
+
+        for node in sorted(self.nodes):
+            if color.get(node, 0) == 0:
+                dfs(node)
+        return found
+
+    def dot(self, title: str) -> str:
+        out = [f'digraph "{title}" {{',
+               '  rankdir=LR;',
+               '  node [shape=box, fontname="monospace", fontsize=10];',
+               '  edge [fontname="monospace", fontsize=8];']
+        cyc_edges: set[tuple[str, str]] = set()
+        for cyc in self.cycles():
+            for a, b in zip(cyc, cyc[1:]):
+                cyc_edges.add((a, b))
+        for node in sorted(self.nodes):
+            out.append(f'  "{node}";')
+        for (a, b), witness in sorted(self.edges.items()):
+            attrs = f'label="{witness}"'
+            if (a, b) in cyc_edges:
+                attrs += ', color=red, penwidth=2'
+            out.append(f'  "{a}" -> "{b}" [{attrs}];')
+        out.append("}")
+        return "\n".join(out) + "\n"
+
+
+def build_graph(all_facts: dict[str, Facts]) -> Graph:
+    graph = Graph()
+    # Direct edges: held -> acquired, per acquisition site.
+    for tu, facts in sorted(all_facts.items()):
+        for a in facts.acquisitions:
+            for h in a.held:
+                if h == a.mutex:
+                    continue  # re-entry is TSA's double-lock, not ordering
+                graph.add(h, a.mutex, f"{tu}:{a.line} {a.function}")
+
+    # Transitive closure over call facts: may_acquire(f) = mutexes f
+    # acquires directly or via any callee (by unqualified name; the
+    # union over same-named functions over-approximates safely).
+    direct: dict[str, set[str]] = {}
+    callees: dict[str, set[str]] = {}
+    for facts in all_facts.values():
+        for a in facts.acquisitions:
+            direct.setdefault(a.function.split("::")[-1], set()).add(a.mutex)
+        for c in facts.calls:
+            callees.setdefault(c.function.split("::")[-1], set()).add(c.callee)
+    may: dict[str, set[str]] = {f: set(ms) for f, ms in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for f, cs in callees.items():
+            acc = may.setdefault(f, set())
+            before = len(acc)
+            for g in cs:
+                acc |= may.get(g, set())
+            if len(acc) != before:
+                changed = True
+    for tu, facts in sorted(all_facts.items()):
+        for c in facts.calls:
+            for m in sorted(may.get(c.callee, set())):
+                for h in c.held:
+                    if h != m:
+                        graph.add(h, m,
+                                  f"{tu}:{c.line} {c.function} -> {c.callee}")
+    return graph
+
+
+# ---------------------------------------------------------------- drivers
+
+
+def cmd_extract(args) -> int:
+    repo_root = Path(args.repo_root).resolve()
+    roots = [Path(r).resolve() for r in args.src]
+    all_facts = extract_tree(roots, repo_root)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    count = 0
+    for rel, facts in sorted(all_facts.items()):
+        if not facts.acquisitions and not facts.calls:
+            continue
+        name = rel.replace("/", "__").replace(".", "_") + ".yaml"
+        (out_dir / name).write_text(facts.dump(rel))
+        count += 1
+    print(f"lock_graph extract: {count} fact file(s) -> {out_dir}")
+    return 0
+
+
+def load_facts_dir(facts_dir: Path) -> dict[str, Facts]:
+    out: dict[str, Facts] = {}
+    for path in sorted(facts_dir.glob("*.yaml")):
+        facts = parse_facts(path.read_text())
+        tu = facts.acquisitions[0].tu if facts.acquisitions else (
+            facts.calls[0].tu if facts.calls else path.stem)
+        out[tu] = facts
+    return out
+
+
+def cmd_merge(args) -> int:
+    facts_dir = Path(args.facts)
+    if not facts_dir.is_dir():
+        print(f"lock_graph merge: no facts directory {facts_dir}",
+              file=sys.stderr)
+        return 2
+    all_facts = load_facts_dir(facts_dir)
+    graph = build_graph(all_facts)
+    if args.dot:
+        Path(args.dot).write_text(graph.dot("kc lock order"))
+    cycles = graph.cycles()
+    print(f"lock_graph merge: {len(all_facts)} TU(s), "
+          f"{len(graph.nodes)} lock(s), {len(graph.edges)} edge(s)")
+    for (a, b), witness in sorted(graph.edges.items()):
+        print(f"  {a} -> {b}   [{witness}]")
+    if cycles:
+        print(f"lock_graph: {len(cycles)} lock-order cycle(s) "
+              "(potential deadlock):", file=sys.stderr)
+        for cyc in cycles:
+            print("  " + " -> ".join(cyc), file=sys.stderr)
+        return 1
+    print("lock_graph: cycle-free")
+    return 0
+
+
+def cmd_gate(args) -> int:
+    """extract + merge in one shot, for the ctest entry: no facts
+    directory to manage, exit 1 on any cycle."""
+    repo_root = Path(args.repo_root).resolve()
+    roots = [Path(r).resolve() for r in args.src]
+    all_facts = {tu: facts for tu, facts in
+                 extract_tree(roots, repo_root).items()
+                 if facts.acquisitions or facts.calls}
+    graph = build_graph(all_facts)
+    if args.dot:
+        Path(args.dot).write_text(graph.dot("kc lock order"))
+    print(f"lock_graph gate: {len(all_facts)} TU(s), "
+          f"{len(graph.nodes)} lock(s), {len(graph.edges)} edge(s)")
+    for (a, b), witness in sorted(graph.edges.items()):
+        print(f"  {a} -> {b}   [{witness}]")
+    cycles = graph.cycles()
+    if cycles:
+        print(f"lock_graph: {len(cycles)} lock-order cycle(s) "
+              "(potential deadlock):", file=sys.stderr)
+        for cyc in cycles:
+            print("  " + " -> ".join(cyc), file=sys.stderr)
+        return 1
+    print("lock_graph: cycle-free")
+    return 0
+
+
+def cmd_selftest(args) -> int:
+    """The lock-order corpus must behave: bad fixture has a cycle, good
+    fixture does not. Runs the heuristic frontend, so it works on any
+    host; the clang-tidy plugin job re-asserts the same corpus with AST
+    facts when available."""
+    corpus = Path(args.corpus)
+    bad = sorted((corpus / "bad").glob("lock_order*"))
+    good = sorted((corpus / "good").glob("lock_order*"))
+    if not bad or not good:
+        print(f"lock_graph selftest: no lock_order fixtures in {corpus}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for paths, want_cycle in ((bad, True), (good, False)):
+        facts = extract_tree([p for p in paths], corpus)
+        graph = build_graph(facts)
+        cycles = graph.cycles()
+        label = "bad" if want_cycle else "good"
+        if bool(cycles) != want_cycle:
+            print(f"FAIL: {label} lock_order fixtures: cycle={bool(cycles)} "
+                  f"want {want_cycle}", file=sys.stderr)
+            for (a, b), w in sorted(graph.edges.items()):
+                print(f"    {a} -> {b} [{w}]", file=sys.stderr)
+            failures += 1
+    if failures == 0:
+        print(f"lock_graph selftest: {len(bad) + len(good)} fixture(s) OK")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("extract", help="derive facts without a compiler")
+    p.add_argument("--src", nargs="+", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--repo-root", default=".")
+    p.set_defaults(fn=cmd_extract)
+
+    p = sub.add_parser("merge", help="union facts, detect cycles, emit DOT")
+    p.add_argument("--facts", required=True)
+    p.add_argument("--dot", default=None)
+    p.set_defaults(fn=cmd_merge)
+
+    p = sub.add_parser("gate", help="extract + merge + fail on cycle")
+    p.add_argument("--src", nargs="+", required=True)
+    p.add_argument("--repo-root", default=".")
+    p.add_argument("--dot", default=None)
+    p.set_defaults(fn=cmd_gate)
+
+    p = sub.add_parser("selftest", help="assert the lock_order corpus")
+    p.add_argument("--corpus", required=True)
+    p.set_defaults(fn=cmd_selftest)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

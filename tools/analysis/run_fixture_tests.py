@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Assert the kc-* clang-tidy plugin against its fixture corpus.
+
+Each file under <corpus>/bad carries `// expect: <check-name>` markers:
+the named check must diagnose that line (or the next one — markers on
+their own line annotate the statement below). Files under <corpus>/good
+must produce zero kc-* diagnostics. Both directions are strict: a check
+that fires where no marker stands fails the run too, so the corpus
+pins the checks' precision as well as their recall.
+
+Fixtures are hermetic — they mock the kc:: declarations they need
+(matching qualified names is what the checks key on) instead of
+including the real headers, so a header refactor cannot silently turn
+the corpus into a no-op.
+"""
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+CHECKS = [
+    "kc-lock-order",
+    "kc-raw-kernel",
+    "kc-atomic-rationale",
+    "kc-wait-loop",
+    "kc-unordered-emit",
+]
+
+EXPECT_RE = re.compile(r"//\s*expect(?P<above>-above)?:\s*(?P<check>kc-[\w-]+)")
+DIAG_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+):\d+:\s+"
+                     r"(?:warning|error):\s.*\[(?P<check>kc-[\w-]+)\]\s*$")
+
+
+def expectations(path: Path) -> list[tuple[int, str]]:
+    """(line, check) pairs. A marker on a comment-only line annotates
+    the next line; `expect-above` annotates the previous line — needed
+    for kc-atomic-rationale, whose comment-proximity rule would read a
+    same-line or lines-above marker as the rationale it demands."""
+    out = []
+    lines = path.read_text().splitlines()
+    for i, line in enumerate(lines, start=1):
+        m = EXPECT_RE.search(line)
+        if not m:
+            continue
+        if m.group("above"):
+            target = i - 1
+        elif line.strip().startswith("//"):
+            target = i + 1
+        else:
+            target = i
+        out.append((target, m.group("check")))
+    return out
+
+
+def run_tidy(clang_tidy: str, plugin: str, facts_dir: str,
+             path: Path) -> tuple[list[tuple[int, str]], str]:
+    # AllowedDirs is overridden because the corpus itself lives under
+    # tests/, which the shipped default exempts; FactsDir keeps the
+    # lock-order YAML out of the source tree.
+    config = ("{CheckOptions: ["
+              "{key: 'kc-raw-kernel.AllowedDirs', value: 'src/geom/'}, "
+              f"{{key: 'kc-lock-order.FactsDir', value: '{facts_dir}'}}"
+              "]}")
+    cmd = [
+        clang_tidy,
+        f"-load={plugin}",
+        "--checks=-*," + ",".join(CHECKS),
+        f"--config={config}",
+        "--quiet",
+        str(path),
+        "--",
+        "-std=c++20",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    diags = []
+    hard_error = False
+    for line in proc.stdout.splitlines() + proc.stderr.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if m:
+            diags.append((int(m.group("line")), m.group("check")))
+        elif ": error:" in line and "[kc-" not in line:
+            hard_error = True
+    if hard_error:
+        raise RuntimeError(
+            f"fixture {path.name} failed to compile under clang-tidy:\n"
+            f"{proc.stdout}\n{proc.stderr}")
+    return diags, proc.stdout
+
+
+def check_bad(path: Path, diags: list[tuple[int, str]]) -> list[str]:
+    problems = []
+    wanted = expectations(path)
+    if not wanted:
+        return [f"{path.name}: bad fixture has no expect markers"]
+    matched = set()
+    for line, check in wanted:
+        hits = [d for d in diags if d[1] == check and d[0] in (line, line + 1)]
+        if hits:
+            matched.update(hits)
+        else:
+            problems.append(f"{path.name}:{line}: expected {check}, not fired")
+    for d in diags:
+        if d not in matched:
+            problems.append(
+                f"{path.name}:{d[0]}: unexpected {d[1]} (no marker)")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clang-tidy", required=True)
+    parser.add_argument("--plugin", required=True)
+    parser.add_argument("--corpus", required=True)
+    parser.add_argument("--repo-root", default=".")
+    args = parser.parse_args(argv)
+
+    corpus = Path(args.corpus)
+    bad = sorted((corpus / "bad").glob("*.cpp"))
+    good = sorted((corpus / "good").glob("*.cpp"))
+    if len(bad) < len(CHECKS) or len(good) < len(CHECKS):
+        print(f"corpus incomplete: {len(bad)} bad / {len(good)} good "
+              f"fixtures for {len(CHECKS)} checks", file=sys.stderr)
+        return 1
+
+    problems: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="kc-facts-") as facts_dir:
+        for path in bad:
+            diags, _ = run_tidy(args.clang_tidy, args.plugin, facts_dir, path)
+            problems += check_bad(path, diags)
+        for path in good:
+            diags, out = run_tidy(args.clang_tidy, args.plugin, facts_dir, path)
+            for line, check in diags:
+                problems.append(
+                    f"{path.name}:{line}: {check} fired on a good fixture")
+
+    if problems:
+        print("plugin corpus FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"plugin corpus OK: {len(bad)} bad + {len(good)} good fixtures, "
+          f"{len(CHECKS)} checks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -19,13 +19,6 @@ Rules (each can be waived per-line, with a written reason):
                  and high_resolution_clock (unspecified alias) are
                  banned in src/. steady_clock and the thread CPU clock
                  (exec/cpu_clock.hpp) are the sanctioned time sources.
-  unordered-iter std::unordered_* containers are banned in TUs that
-                 emit report/trace bytes (harness/, svc/, mapreduce/,
-                 api/, cli/): iteration order is hash-seed dependent
-                 and would leak into the byte-identity surface.
-  memory-order   every non-seq_cst atomic access must carry a
-                 rationale comment (same line or within the three
-                 lines above) saying why the weaker order is sound.
   fp-contract    every compile command carrying an ISA flag (-mavx2 /
                  -mavx512f) must also carry -ffp-contract=off, so SIMD
                  kernels cannot FMA-contract away from the scalar
@@ -36,11 +29,26 @@ Rules (each can be waived per-line, with a written reason):
                  KC_GUARDED_BY or explicitly waived.
   tsa-optout     KC_NO_THREAD_SAFETY_ANALYSIS needs a written reason
                  (comment within the three lines above).
+  waiver-expired an expiring waiver whose PR deadline has passed; the
+                 debt comes due, fix the code or re-justify.
+
+Two former rules — `memory-order` (rationale comments on weakened
+atomic orders) and `unordered-iter` (hash containers in report TUs) —
+are retired here and enforced AST-accurately by the clang-tidy plugin
+(tools/analysis: kc-atomic-rationale, kc-unordered-emit). The regex
+versions missed aliased orders and helpers one call from a sink, and
+double-reporting the same contract from two tools teaches people to
+ignore one of them.
 
 Waiver grammar (the reason is mandatory; a bare waiver is itself an
-error):
+error). A waiver may carry an expiry PR; once CHANGES.md says the repo
+has reached that PR, the waiver turns into a `waiver-expired` finding:
 
     code();  // kc-lint: allow(wallclock) operator-facing log line only
+    tmp();   // kc-lint: allow(guarded-by, until=PR14) migration shim
+
+The current PR number is one past the CHANGES.md entry count (one
+line per merged PR), overridable with --current-pr.
 
 Usage:
     tools/kc_lint.py --src src --compile-commands build/compile_commands.json
@@ -71,26 +79,69 @@ class Finding:
 
 # ---------------------------------------------------------------- waivers
 
-WAIVER_RE = re.compile(r"//\s*kc-lint:\s*allow\((?P<rules>[\w\-, ]+)\)(?P<reason>.*)$")
+WAIVER_RE = re.compile(
+    r"//\s*kc-lint:\s*allow\((?P<rules>[\w\-, =]+)\)(?P<reason>.*)$")
+UNTIL_RE = re.compile(r"^until=PR(\d+)$")
 
 
-def parse_waivers(lines: list[str], path: Path, findings: list[Finding]):
+def current_pr_number(repo_root: Path) -> int | None:
+    """One past the number of CHANGES.md entries — the PR being built
+    right now. None (expiry unenforced) when the ledger is absent."""
+    changes = repo_root / "CHANGES.md"
+    try:
+        entries = [ln for ln in changes.read_text().splitlines()
+                   if ln.strip()]
+    except OSError:
+        return None
+    return len(entries) + 1
+
+
+def parse_waivers(lines: list[str], path: Path, findings: list[Finding],
+                  current_pr: int | None = None):
     """Maps 1-based line number -> set of waived rules for that line.
 
     A waiver on a pure comment line applies to the next code line.
-    A waiver without a trailing reason is reported and ignored.
+    A waiver without a trailing reason is reported and ignored. An
+    `until=PRn` term bounds the waiver's life: once the repo reaches
+    PR n the waiver still suppresses its rules (one finding, not two)
+    but reports `waiver-expired` so CI fails until the debt is paid
+    down or the deadline re-justified.
     """
     waived: dict[int, set[str]] = {}
     for i, line in enumerate(lines, start=1):
         m = WAIVER_RE.search(line)
         if not m:
             continue
-        rules = {r.strip() for r in m.group("rules").split(",") if r.strip()}
+        terms = [t.strip() for t in m.group("rules").split(",") if t.strip()]
+        rules: set[str] = set()
+        expires: int | None = None
+        malformed = False
+        for term in terms:
+            u = UNTIL_RE.match(term)
+            if u:
+                expires = int(u.group(1))
+            elif "=" in term:
+                malformed = True
+            else:
+                rules.add(term)
+        if malformed:
+            findings.append(Finding(
+                path, i, "waiver",
+                "malformed waiver term; the only keyword form is "
+                "until=PR<n>"))
+            continue
         if not m.group("reason").strip():
             findings.append(
                 Finding(path, i, "waiver", "waiver without a written reason")
             )
             continue
+        if expires is not None and current_pr is not None \
+                and current_pr >= expires:
+            findings.append(Finding(
+                path, i, "waiver-expired",
+                f"waiver for {', '.join(sorted(rules))} expired at "
+                f"PR{expires} (now at PR{current_pr}); fix the code or "
+                "re-justify with a later deadline"))
         target = i
         if line.strip().startswith("//"):  # comment-only line: waive the next line
             target = i + 1
@@ -119,17 +170,6 @@ WALLCLOCK_RE = re.compile(
     r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
 )
 
-UNORDERED_RE = re.compile(r"std::unordered_\w+|#include\s*<unordered_")
-# TUs whose bytes reach a report, trace, response or table. harness/
-# renders tables and plots, svc/ encodes responses, mapreduce/ carries
-# the JobTrace, api/ fills SolveReport, cli/ prints all of the above.
-REPORT_DIRS = ("src/harness/", "src/svc/", "src/mapreduce/", "src/api/",
-               "src/cli/")
-
-MEMORY_ORDER_RE = re.compile(
-    r"memory_order_(?:relaxed|acquire|release|acq_rel|consume)"
-)
-
 TSA_OPTOUT_RE = re.compile(r"KC_NO_THREAD_SAFETY_ANALYSIS")
 
 
@@ -148,9 +188,10 @@ def has_nearby_comment(lines: list[str], idx: int) -> bool:
     return False
 
 
-def lint_lines(path: Path, rel: str, text: str, findings: list[Finding]):
+def lint_lines(path: Path, rel: str, text: str, findings: list[Finding],
+               current_pr: int | None = None):
     lines = text.splitlines()
-    waived = parse_waivers(lines, path, findings)
+    waived = parse_waivers(lines, path, findings, current_pr)
 
     def report(i: int, rule: str, message: str):
         if rule in waived.get(i, set()):
@@ -185,22 +226,6 @@ def lint_lines(path: Path, rel: str, text: str, findings: list[Finding]):
                    f"wall-clock source '{m.group(0).strip()}'; use "
                    "steady_clock or exec/cpu_clock.hpp")
 
-        m = UNORDERED_RE.search(line)
-        if m and not is_comment_or_string(line, m.start()):
-            if any(rel.startswith(p) for p in REPORT_DIRS):
-                report(i, "unordered-iter",
-                       "unordered container in a report/trace-emitting TU; "
-                       "iteration order would leak hash order into report "
-                       "bytes — use a sorted or insertion-ordered container")
-
-        m = MEMORY_ORDER_RE.search(line)
-        if m and not is_comment_or_string(line, m.start()):
-            if not has_nearby_comment(lines, i - 1):
-                report(i, "memory-order",
-                       f"'{m.group(0)}' without a rationale comment; say "
-                       "why the weaker ordering is sound (same line or the "
-                       "3 lines above)")
-
         m = TSA_OPTOUT_RE.search(line)
         if m and not is_comment_or_string(line, m.start()) and \
                 "define" not in line:
@@ -232,7 +257,11 @@ def lint_guarded_by(path: Path, text: str, findings: list[Finding]):
     are joined on the annotation check by looking one line ahead.
     """
     lines = text.splitlines()
-    waived = parse_waivers(lines, path, findings)
+    # Waiver hygiene findings (bare reason, expiry) are already
+    # reported by lint_lines over the same text; a scratch list keeps
+    # them from being counted twice for headers.
+    scratch: list[Finding] = []
+    waived = parse_waivers(lines, path, scratch)
 
     depth = 0
     mutex_depths: set[int] = set()
@@ -296,14 +325,15 @@ def lint_compile_commands(db_path: Path, findings: list[Finding]):
 # ----------------------------------------------------------------- driver
 
 
-def lint_tree(src_root: Path, repo_root: Path) -> list[Finding]:
+def lint_tree(src_root: Path, repo_root: Path,
+              current_pr: int | None) -> list[Finding]:
     findings: list[Finding] = []
     for path in sorted(src_root.rglob("*")):
         if path.suffix not in (".cpp", ".hpp", ".h", ".cc"):
             continue
         rel = path.relative_to(repo_root).as_posix()
         text = path.read_text(encoding="utf-8", errors="replace")
-        lint_lines(path, rel, text, findings)
+        lint_lines(path, rel, text, findings, current_pr)
         if path.suffix in (".hpp", ".h"):
             lint_guarded_by(path, text, findings)
     return findings
@@ -322,6 +352,11 @@ def self_test(fixtures: Path, repo_root: Path) -> int:
         print(f"kc_lint --self-test: no fixtures under {fixtures}",
               file=sys.stderr)
         return 1
+    # Fixtures pin expiry behavior with far-off deadlines (until=PR3 is
+    # always expired, until=PR9999 never is), so any current PR in the
+    # repo's realistic lifetime asserts both sides. The real ledger
+    # count keeps the self-test honest about the derivation path too.
+    current_pr = current_pr_number(repo_root) or 10
     for path in good:
         if path.suffix not in (".cpp", ".hpp"):
             continue
@@ -329,7 +364,8 @@ def self_test(fixtures: Path, repo_root: Path) -> int:
         text = path.read_text()
         # Good fixtures are linted as if they lived in the strictest
         # spot: a report-emitting directory.
-        lint_lines(path, "src/harness/" + path.name, text, findings)
+        lint_lines(path, "src/harness/" + path.name, text, findings,
+                   current_pr)
         if path.suffix == ".hpp":
             lint_guarded_by(path, text, findings)
         for f in findings:
@@ -341,7 +377,8 @@ def self_test(fixtures: Path, repo_root: Path) -> int:
         text = path.read_text()
         expected = sorted(EXPECT_RE.findall(text))
         findings = []
-        lint_lines(path, "src/harness/" + path.name, text, findings)
+        lint_lines(path, "src/harness/" + path.name, text, findings,
+                   current_pr)
         if path.suffix == ".hpp":
             lint_guarded_by(path, text, findings)
         got = sorted({f.rule for f in findings})
@@ -370,6 +407,9 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--self-test", type=Path, default=None,
                         metavar="FIXTURES",
                         help="run against the fixture corpus and exit")
+    parser.add_argument("--current-pr", type=int, default=None,
+                        help="PR number for waiver expiry (default: "
+                             "derived from CHANGES.md entry count + 1)")
     args = parser.parse_args(argv)
 
     repo_root = args.src.resolve().parent
@@ -381,7 +421,11 @@ def main(argv: list[str]) -> int:
         print(f"kc_lint: no such source tree: {args.src}", file=sys.stderr)
         return 2
 
-    findings = lint_tree(args.src.resolve(), repo_root)
+    current_pr = args.current_pr
+    if current_pr is None:
+        current_pr = current_pr_number(repo_root)
+
+    findings = lint_tree(args.src.resolve(), repo_root, current_pr)
     if args.compile_commands is not None:
         lint_compile_commands(args.compile_commands, findings)
 
